@@ -1,0 +1,131 @@
+// Ablation of A2's quiescence mechanism (§5.2):
+//
+// A2 predicts "no more traffic" whenever a round delivers nothing, and
+// stops; a later broadcast restarts rounds at a one-extra-WAN-delay cost
+// (Theorem 5.2). This bench quantifies that design point on bursty
+// workloads: for different gap lengths between bursts it reports the
+// background bundle traffic during gaps (quiescence saves it entirely),
+// and the latency penalty of the first message of each burst (the restart
+// cost). The never-quiescent deterministic-merge algorithm [1] is the
+// contrast: no restart penalty, permanent background traffic.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace wanmc::bench {
+namespace {
+
+struct BurstStats {
+  double firstOfBurstWallMs = 0;   // mean wall latency of burst openers
+  double restOfBurstWallMs = 0;    // mean wall latency of followers
+  uint64_t interMsgs = 0;          // total inter-group traffic
+  bool safe = false;
+};
+
+enum class A2Variant { kDefault, kLinger, kRate };
+
+BurstStats measure(core::ProtocolKind kind, SimTime gap, uint64_t seed,
+                   A2Variant variant = A2Variant::kDefault) {
+  auto cfg = fixedConfig(kind, 2, 2, seed);
+  cfg.merge.heartbeatPeriod = 200 * kMs;
+  if (variant == A2Variant::kLinger) {
+    cfg.a2.predictor = abcast::A2Options::Predictor::kLinger;
+    cfg.a2.lingerRounds = 6;
+  } else if (variant == A2Variant::kRate) {
+    cfg.a2.predictor = abcast::A2Options::Predictor::kRateAdaptive;
+    cfg.a2.rateMultiplier = 6.0;
+  }
+  core::Experiment ex(cfg);
+  const int bursts = 6, perBurst = 5;
+  std::vector<MsgId> first, rest;
+  SimTime t = 10 * kMs;
+  for (int b = 0; b < bursts; ++b) {
+    for (int i = 0; i < perBurst; ++i) {
+      // All senders of a burst live in group 0: the other group is then
+      // woken only by the bundle exchange, which is exactly the restart
+      // path whose cost (Thm 5.2) this ablation quantifies. (A concurrent
+      // cast from the other group would start its round proactively and
+      // hide the penalty.)
+      auto id = ex.castAllAt(t, static_cast<ProcessId>(i % 2), "b");
+      (i == 0 ? first : rest).push_back(id);
+      t += 40 * kMs;
+    }
+    t += gap;
+  }
+  const SimTime horizon =
+      kind == core::ProtocolKind::kDetMerge00 ? t + 2 * kSec : 3600 * kSec;
+  auto r = ex.run(horizon);
+
+  BurstStats s;
+  s.safe = r.checkAtomicSuite().empty();
+  auto mean = [&](const std::vector<MsgId>& ids) {
+    double sum = 0;
+    for (MsgId id : ids)
+      sum += static_cast<double>(r.trace.wallLatency(id).value_or(0)) / kMs;
+    return sum / static_cast<double>(ids.size());
+  };
+  s.firstOfBurstWallMs = mean(first);
+  s.restOfBurstWallMs = mean(rest);
+  s.interMsgs = r.traffic.interAlgorithmic();
+  return s;
+}
+
+void printReproduction() {
+  std::printf("\n=== Ablation — A2 quiescence on bursty workloads (6 bursts "
+              "x 5 msgs @ 25/s) ===\n");
+  std::printf("  %-10s %-28s %16s %16s %12s\n", "gap", "algorithm",
+              "burst-opener", "follower", "inter msgs");
+  struct Entry {
+    core::ProtocolKind kind;
+    A2Variant variant;
+    const char* label;
+  };
+  const Entry entries[] = {
+      {core::ProtocolKind::kA2, A2Variant::kDefault, "A2 (stop on empty)"},
+      {core::ProtocolKind::kA2, A2Variant::kLinger, "A2 + linger(6) §5.3"},
+      {core::ProtocolKind::kA2, A2Variant::kRate, "A2 + rate-adaptive §5.3"},
+      {core::ProtocolKind::kDetMerge00, A2Variant::kDefault,
+       "Aguilera & Strom 00 [1]"},
+  };
+  for (SimTime gap : {0 * kMs, 500 * kMs, 2 * kSec, 10 * kSec}) {
+    for (const Entry& e : entries) {
+      auto s = measure(e.kind, gap, 1, e.variant);
+      char g[32];
+      std::snprintf(g, sizeof g, "%.1fs", static_cast<double>(gap) / kSec);
+      std::printf("  %-10s %-28s %14.1fms %14.1fms %12llu%s\n", g, e.label,
+                  s.firstOfBurstWallMs, s.restOfBurstWallMs,
+                  static_cast<unsigned long long>(s.interMsgs),
+                  s.safe ? "" : "  [SAFETY VIOLATION]");
+    }
+  }
+  std::printf("\n  expectation: with growing gaps A2's burst openers pay "
+              "the restart (~2 WAN delays vs ~1 when warm) while its total "
+              "traffic stays flat\n  (no rounds run during gaps); the "
+              "linger/rate predictors (§5.3's suggested refinements) keep "
+              "short-gap openers warm\n  for a bounded amount of extra "
+              "empty-round traffic; the never-quiescent [1] keeps openers "
+              "cheap but pays\n  permanent heartbeat traffic that grows "
+              "with the gap.\n\n");
+}
+
+void BM_BurstyA2(benchmark::State& state) {
+  BurstStats s;
+  for (auto _ : state) {
+    s = measure(core::ProtocolKind::kA2,
+                static_cast<SimTime>(state.range(0)) * kMs, 1);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["opener_wall_ms"] = s.firstOfBurstWallMs;
+  state.counters["inter_msgs"] = static_cast<double>(s.interMsgs);
+}
+BENCHMARK(BM_BurstyA2)->Arg(0)->Arg(2000)->Arg(10000);
+
+}  // namespace
+}  // namespace wanmc::bench
+
+int main(int argc, char** argv) {
+  wanmc::bench::printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

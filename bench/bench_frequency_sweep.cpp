@@ -1,0 +1,109 @@
+// Reproduces the §5.3 claim: "the presented broadcast algorithm never
+// becomes reactive if the time between two consecutive broadcasts is
+// smaller than the time to execute a round. Moreover, in this case, all
+// rounds are useful... In a large-scale system where the inter-group
+// latency is 100 milliseconds, a broadcast frequency of 10 messages per
+// second is sufficient for the algorithm to reach this optimality."
+//
+// The bench sweeps the broadcast frequency at a fixed 100ms inter-group
+// latency and reports, per frequency: the fraction of useful rounds, the
+// share of messages delivered at latency degree 1, and the mean wall-clock
+// delivery latency. The crossover at ~10 msg/s (one message per round
+// time) is the claim to observe.
+#include <benchmark/benchmark.h>
+
+#include "abcast/a2_node.hpp"
+#include "bench_util.hpp"
+
+namespace wanmc::bench {
+namespace {
+
+struct FreqPoint {
+  double msgsPerSec = 0;
+  double usefulRoundFraction = 0;
+  uint64_t emptyRounds = 0;  // quiescent episodes (+1 trailing round)
+  double meanWallMs = 0;
+  int64_t minDegree = 0;
+};
+
+FreqPoint measure(double msgsPerSec, uint64_t seed) {
+  auto cfg = fixedConfig(core::ProtocolKind::kA2, 2, 2, seed);
+  core::Experiment ex(cfg);
+  const auto period = static_cast<SimTime>(1e6 / msgsPerSec);
+  const int count = 60;
+  std::vector<MsgId> ids;
+  // Jitter the arrivals by up to half a period: perfectly periodic casts
+  // phase-lock against the (deterministic) round structure and make the
+  // per-message latency degree alias instead of mixing.
+  SplitMix64 rng(seed * 7 + 13);
+  for (int i = 0; i < count; ++i) {
+    const SimTime jitter = rng.uniform(0, std::max<SimTime>(1, period - 1));
+    ids.push_back(ex.castAllAt(10 * kMs + i * period + jitter,
+                               static_cast<ProcessId>(i % 4), "f"));
+  }
+  auto r = ex.run(3600 * kSec);
+
+  FreqPoint p;
+  p.msgsPerSec = msgsPerSec;
+  auto& n0 = dynamic_cast<abcast::A2Node&>(ex.node(0));
+  p.usefulRoundFraction =
+      n0.roundsExecuted() == 0
+          ? 0
+          : static_cast<double>(n0.usefulRounds()) /
+                static_cast<double>(n0.roundsExecuted());
+  p.emptyRounds = n0.roundsExecuted() - n0.usefulRounds();
+  double wallSum = 0;
+  int64_t minDeg = INT64_MAX;
+  for (MsgId id : ids) {
+    minDeg = std::min(minDeg, r.trace.latencyDegree(id).value_or(-1));
+    wallSum += static_cast<double>(r.trace.wallLatency(id).value_or(0)) / kMs;
+  }
+  p.meanWallMs = wallSum / count;
+  p.minDegree = minDeg;
+  return p;
+}
+
+void printReproduction() {
+  std::printf("\n=== §5.3 — A2 broadcast-frequency sweep (inter-group "
+              "latency 100ms) ===\n");
+  std::printf("  %10s %16s %14s %12s %10s\n", "msg/s", "useful rounds",
+              "empty rounds", "mean wall", "min Delta");
+  for (double f : {1.0, 2.0, 5.0, 8.0, 10.0, 15.0, 20.0, 50.0, 100.0}) {
+    auto p = measure(f, 1);
+    std::printf("  %10.0f %15.0f%% %14llu %10.1fms %10lld\n", p.msgsPerSec,
+                p.usefulRoundFraction * 100,
+                static_cast<unsigned long long>(p.emptyRounds), p.meanWallMs,
+                static_cast<long long>(p.minDegree));
+  }
+  std::printf("\n  expectation (§5.3): below ~10 msg/s gaps outlast a round "
+              "and the algorithm repeatedly goes quiescent\n"
+              "  (each empty round is a stop; restarted casts pay the "
+              "Theorem-5.2 cost); at and above ~10 msg/s rounds are\n"
+              "  continuously useful (one trailing empty round only) and "
+              "the algorithm never becomes reactive.\n"
+              "  min Delta = 1 appears whenever the two groups' round "
+              "phases align (Theorem 5.1's run shape).\n\n");
+}
+
+void BM_FrequencyPoint(benchmark::State& state) {
+  const double f = static_cast<double>(state.range(0));
+  FreqPoint p;
+  for (auto _ : state) {
+    p = measure(f, 1);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["useful_round_pct"] = p.usefulRoundFraction * 100;
+  state.counters["empty_rounds"] = static_cast<double>(p.emptyRounds);
+  state.counters["mean_wall_ms"] = p.meanWallMs;
+}
+BENCHMARK(BM_FrequencyPoint)->Arg(2)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace wanmc::bench
+
+int main(int argc, char** argv) {
+  wanmc::bench::printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Substrate accounting check (paper §6, Figure 1 footnote):
+//
+// "we consider the oracle-based uniform reliable broadcast and uniform
+// consensus algorithms of [6] and [11] respectively... The latency degrees
+// of [6] and [11] are respectively one and two. Furthermore, considering
+// that a process p multicasts a message to k groups... or that k groups
+// execute consensus, the algorithms respectively send d(k-1) and
+// 2kd(kd-1) inter-group messages."
+//
+// This bench measures our implementations of both substrates against those
+// numbers: reliable multicast latency degree and inter-group count, and
+// consensus latency degree (in WAN delays, when run ACROSS k groups — it is
+// zero by construction when run inside one group) and message count.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "consensus/consensus.hpp"
+#include "rmcast/rmcast.hpp"
+
+namespace wanmc::bench {
+namespace {
+
+// ---- reliable multicast ---------------------------------------------------
+
+class RmHost final : public sim::Node {
+ public:
+  RmHost(sim::Runtime& rt, ProcessId pid, rmcast::Uniformity uni)
+      : sim::Node(rt, pid),
+        rm(rt, pid, rmcast::RelayPolicy::kIntraOnly, uni) {
+    rm.onDeliver([this](const AppMsgPtr&) { deliveredAtLamport = runtime().lamport(this->pid()); });
+  }
+  void onMessage(ProcessId from, const PayloadPtr& p) override {
+    rm.onMessage(from, static_cast<const rmcast::RmPayload&>(*p));
+  }
+  rmcast::ReliableMulticast rm;
+  uint64_t deliveredAtLamport = UINT64_MAX;
+};
+
+struct RmResult {
+  int64_t degree = -1;
+  uint64_t inter = 0;
+};
+
+RmResult measureRm(int k, int d, rmcast::Uniformity uni) {
+  sim::Runtime rt(Topology(k, d), sim::LatencyModel::fixed(kMs / 10, 100 * kMs),
+                  1);
+  std::vector<RmHost*> hosts;
+  for (ProcessId p = 0; p < k * d; ++p) {
+    auto n = std::make_unique<RmHost>(rt, p, uni);
+    hosts.push_back(n.get());
+    rt.attach(p, std::move(n));
+  }
+  rt.start();
+  GroupSet dest;
+  for (GroupId g = 0; g < k; ++g) dest.add(g);
+  const uint64_t castTs = rt.lamport(0);
+  hosts[0]->rm.rmcast(makeAppMessage(1, 0, dest));
+  rt.run();
+  RmResult r;
+  r.inter = rt.traffic().at(Layer::kReliableMulticast).inter;
+  uint64_t maxTs = 0;
+  for (auto* h : hosts)
+    if (h->deliveredAtLamport != UINT64_MAX)
+      maxTs = std::max(maxTs, h->deliveredAtLamport);
+  r.degree = static_cast<int64_t>(maxTs - castTs);
+  return r;
+}
+
+// ---- consensus --------------------------------------------------------------
+
+class ConsHost final : public sim::Node {
+ public:
+  ConsHost(sim::Runtime& rt, ProcessId pid, std::vector<ProcessId> members,
+           consensus::ConsensusKind kind)
+      : sim::Node(rt, pid) {
+    fd = std::make_unique<fd::OracleFd>(rt, pid, 0);
+    svc = consensus::makeConsensus(kind, rt, pid, std::move(members),
+                                   fd.get(), 0);
+    svc->onDecide([this](consensus::Instance, const ConsensusValue&) {
+      decidedAtLamport = runtime().lamport(this->pid());
+      decidedAt = now();
+    });
+  }
+  void onMessage(ProcessId from, const PayloadPtr& p) override {
+    svc->onMessage(from,
+                   static_cast<const consensus::ConsensusPayload&>(*p));
+  }
+  std::unique_ptr<fd::FailureDetector> fd;
+  std::unique_ptr<consensus::ConsensusService> svc;
+  uint64_t decidedAtLamport = UINT64_MAX;
+  SimTime decidedAt = -1;
+};
+
+struct ConsResult {
+  int64_t degree = -1;  // inter-group delays, max over deciders
+  uint64_t inter = 0;
+  uint64_t intra = 0;
+  SimTime lastDecide = -1;
+};
+
+ConsResult measureConsensus(int k, int d, consensus::ConsensusKind kind) {
+  sim::Runtime rt(Topology(k, d), sim::LatencyModel::fixed(kMs / 10, 100 * kMs),
+                  1);
+  std::vector<ConsHost*> hosts;
+  std::vector<ProcessId> members;
+  for (ProcessId p = 0; p < k * d; ++p) members.push_back(p);
+  for (ProcessId p = 0; p < k * d; ++p) {
+    auto n = std::make_unique<ConsHost>(rt, p, members, kind);
+    hosts.push_back(n.get());
+    rt.attach(p, std::move(n));
+  }
+  rt.start();
+  for (auto* h : hosts) h->svc->propose(1, uint64_t{42});
+  rt.run();
+  ConsResult r;
+  r.inter = rt.traffic().at(Layer::kConsensus).inter;
+  r.intra = rt.traffic().at(Layer::kConsensus).intra;
+  uint64_t maxTs = 0;
+  for (auto* h : hosts) {
+    if (h->decidedAtLamport != UINT64_MAX)
+      maxTs = std::max(maxTs, h->decidedAtLamport);
+    r.lastDecide = std::max(r.lastDecide, h->decidedAt);
+  }
+  r.degree = static_cast<int64_t>(maxTs);  // proposals start at lamport 0
+  return r;
+}
+
+void printReproduction() {
+  std::printf("\n=== Substrates — reliable multicast ([6]-style) ===\n");
+  std::printf("  %-22s %8s %8s %14s %16s\n", "variant", "k", "d",
+              "degree (paper 1)", "inter (paper d(k-1))");
+  for (int k : {2, 3, 4}) {
+    for (int d : {2, 3}) {
+      auto nu = measureRm(k, d, rmcast::Uniformity::kNonUniform);
+      auto u = measureRm(k, d, rmcast::Uniformity::kUniform);
+      std::printf("  %-22s %8d %8d %14lld %10llu (=%d)\n", "non-uniform", k,
+                  d, static_cast<long long>(nu.degree),
+                  static_cast<unsigned long long>(nu.inter), d * (k - 1));
+      std::printf("  %-22s %8d %8d %14lld %10llu (=%d)\n", "uniform", k, d,
+                  static_cast<long long>(u.degree),
+                  static_cast<unsigned long long>(u.inter), d * (k - 1));
+    }
+  }
+
+  std::printf("\n=== Substrates — consensus ([11]-style early consensus) "
+              "===\n");
+  std::printf("  %-22s %8s %8s %16s %14s %14s\n", "scope", "k", "d",
+              "degree (paper 2)", "inter msgs", "2kd(kd-1)");
+  for (int k : {1, 2, 3}) {
+    for (int d : {2, 3}) {
+      auto r = measureConsensus(k, d, consensus::ConsensusKind::kEarly);
+      const int n = k * d;
+      std::printf("  %-22s %8d %8d %16lld %14llu %14d\n",
+                  k == 1 ? "intra-group" : "across groups", k, d,
+                  static_cast<long long>(r.degree),
+                  static_cast<unsigned long long>(r.inter),
+                  2 * k * d * (n - 1));
+    }
+  }
+  std::printf("\n  notes: intra-group consensus costs ZERO inter-group "
+              "delays/messages — the basis of A1/A2's accounting;\n"
+              "  across k groups the early-deciding path costs 2 WAN delays "
+              "and O((kd)^2) messages, matching [11]'s row\n"
+              "  (our count includes the decide-relay reliable broadcast; "
+              "same order).\n\n");
+}
+
+void BM_RmCast(benchmark::State& state) {
+  RmResult r;
+  for (auto _ : state) {
+    r = measureRm(3, 2, rmcast::Uniformity::kNonUniform);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["degree"] = static_cast<double>(r.degree);
+  state.counters["inter_msgs"] = static_cast<double>(r.inter);
+}
+BENCHMARK(BM_RmCast);
+
+void BM_ConsensusIntra(benchmark::State& state) {
+  ConsResult r;
+  for (auto _ : state) {
+    r = measureConsensus(1, static_cast<int>(state.range(0)),
+                         consensus::ConsensusKind::kEarly);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["decide_ms"] = static_cast<double>(r.lastDecide) / kMs;
+}
+BENCHMARK(BM_ConsensusIntra)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_ConsensusCrossGroup(benchmark::State& state) {
+  ConsResult r;
+  for (auto _ : state) {
+    r = measureConsensus(static_cast<int>(state.range(0)), 2,
+                         consensus::ConsensusKind::kEarly);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["degree"] = static_cast<double>(r.degree);
+  state.counters["inter_msgs"] = static_cast<double>(r.inter);
+}
+BENCHMARK(BM_ConsensusCrossGroup)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace wanmc::bench
+
+int main(int argc, char** argv) {
+  wanmc::bench::printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

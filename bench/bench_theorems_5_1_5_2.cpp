@@ -1,0 +1,122 @@
+// Reproduces Theorems 5.1 and 5.2:
+//   5.1  there exists a run of A2 with Delta(m, R) = 1 — the warm-round run
+//        where a broadcast rides the very next bundle exchange;
+//   5.2  there exists a run where the LAST message, cast while processes
+//        are reactive (the algorithm went quiescent), has Delta(m, R) = 2 —
+//        the sender's group's bundle must first wake the other groups.
+// Together with Prop. 3.1/3.3 this is the quiescence lower bound: the
+// degree-2 cold-start cost is unavoidable for quiescent algorithms.
+#include <benchmark/benchmark.h>
+
+#include "abcast/a2_node.hpp"
+#include "bench_util.hpp"
+
+namespace wanmc::bench {
+namespace {
+
+void printReproduction() {
+  // ---- Theorem 5.1: warm run, Delta = 1 -----------------------------------
+  std::printf("\n=== Theorem 5.1 — warm A2 delivers with Delta(m, R) = 1 "
+              "===\n");
+  {
+    auto cfg = fixedConfig(core::ProtocolKind::kA2, 2, 2, 1);
+    core::Experiment ex(cfg);
+    std::vector<MsgId> ids;
+    for (int i = 0; i < 25; ++i)
+      ids.push_back(ex.castAllAt(kMs + i * 40 * kMs,
+                                 static_cast<ProcessId>(i % 4), "w"));
+    auto r = ex.run(600 * kSec);
+    int64_t minDeg = INT64_MAX, maxDeg = INT64_MIN;
+    int ones = 0;
+    for (MsgId id : ids) {
+      auto d = r.trace.latencyDegree(id).value_or(-1);
+      minDeg = std::min(minDeg, d);
+      maxDeg = std::max(maxDeg, d);
+      if (d == 1) ++ones;
+    }
+    std::printf("  25 msgs at 25 msg/s over 2 groups x 2 procs\n");
+    std::printf("  min Delta = %lld (paper: 1), max Delta = %lld, "
+                "%d/25 messages at Delta = 1\n",
+                static_cast<long long>(minDeg),
+                static_cast<long long>(maxDeg), ones);
+    std::printf("  safety: %s\n",
+                r.checkAtomicSuite().empty() ? "ok" : "VIOLATED");
+  }
+
+  // ---- Theorem 5.2: quiescent start, Delta = 2 ----------------------------
+  std::printf("\n=== Theorem 5.2 — a message cast after quiescence pays "
+              "Delta(m, R) = 2 ===\n");
+  {
+    auto cfg = fixedConfig(core::ProtocolKind::kA2, 2, 2, 1);
+    core::Experiment ex(cfg);
+    auto id = ex.castAllAt(kMs, 0, "cold");
+    auto r = ex.run(600 * kSec);
+    const auto& cast = r.trace.casts.front();
+    std::printf("  t=%7.2fms  p%d  A-BCast(m)    ts = %llu\n",
+                static_cast<double>(cast.when) / kMs, cast.process,
+                static_cast<unsigned long long>(cast.lamport));
+    for (const auto& d : r.trace.deliveries)
+      std::printf("  t=%7.2fms  p%d  A-Deliver(m)  ts = %llu\n",
+                  static_cast<double>(d.when) / kMs, d.process,
+                  static_cast<unsigned long long>(d.lamport));
+    std::printf("  Delta(m, R) = %lld (paper: 2 — the quiescence cost)\n",
+                static_cast<long long>(r.trace.latencyDegree(id).value_or(-1)));
+  }
+
+  // ---- Quiescence itself (Prop. A.9) --------------------------------------
+  std::printf("\n=== Prop. A.9 — A2 is quiescent ===\n");
+  {
+    auto cfg = fixedConfig(core::ProtocolKind::kA2, 3, 2, 1);
+    core::Experiment ex(cfg);
+    for (int i = 0; i < 5; ++i)
+      ex.castAllAt(kMs + i * 100 * kMs, static_cast<ProcessId>(i), "q");
+    auto r = ex.run(600 * kSec);
+    SimTime lastCast = 0;
+    for (const auto& c : r.trace.casts) lastCast = std::max(lastCast, c.when);
+    std::printf("  last A-BCast at %.1fms; last protocol packet at %.1fms "
+                "(+%.0fms settle)\n",
+                static_cast<double>(lastCast) / kMs,
+                static_cast<double>(r.lastAlgoSend) / kMs,
+                static_cast<double>(r.lastAlgoSend - lastCast) / kMs);
+    auto& n0 = dynamic_cast<abcast::A2Node&>(ex.node(0));
+    std::printf("  rounds executed: %llu (useful: %llu) — exactly one "
+                "trailing empty round\n",
+                static_cast<unsigned long long>(n0.roundsExecuted()),
+                static_cast<unsigned long long>(n0.usefulRounds()));
+  }
+  std::printf("\n");
+}
+
+void BM_A2Warm(benchmark::State& state) {
+  StreamStats s;
+  for (auto _ : state) {
+    s = runBroadcastStream(fixedConfig(core::ProtocolKind::kA2, 2, 2, 1),
+                           25, 40 * kMs);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["min_latency_degree"] = static_cast<double>(s.minDegree);
+}
+BENCHMARK(BM_A2Warm);
+
+void BM_A2Cold(benchmark::State& state) {
+  int64_t degree = -1;
+  for (auto _ : state) {
+    core::Experiment ex(fixedConfig(core::ProtocolKind::kA2, 2, 2, 1));
+    auto id = ex.castAllAt(kMs, 0, "x");
+    auto r = ex.run(600 * kSec);
+    degree = r.trace.latencyDegree(id).value_or(-1);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["latency_degree"] = static_cast<double>(degree);
+}
+BENCHMARK(BM_A2Cold);
+
+}  // namespace
+}  // namespace wanmc::bench
+
+int main(int argc, char** argv) {
+  wanmc::bench::printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// A fully replicated ledger over atomic broadcast (Algorithm A2).
+//
+// Two regions, two replicas each; every replica holds ALL accounts and
+// applies transfers in the total order A2 delivers. Balances can never
+// diverge — even though transfers are submitted concurrently from both
+// regions — and while the stream is busy, A2 delivers each transfer after a
+// single WAN delay (latency degree 1, Theorem 5.1).
+//
+//   $ ./examples/wan_ledger
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+using namespace wanmc;
+
+namespace {
+
+class Ledger {
+ public:
+  Ledger() { balances_["root"] = 1000; }
+
+  void apply(const AppMessage& m) {
+    // body: "transfer <from> <to> <amount>"
+    char from[32], to[32];
+    long amount = 0;
+    if (std::sscanf(m.body.c_str(), "transfer %31s %31s %ld", from, to,
+                    &amount) != 3)
+      return;
+    if (balances_[from] >= amount) {
+      balances_[from] -= amount;
+      balances_[to] += amount;
+      ++applied_;
+    } else {
+      ++rejected_;
+    }
+  }
+
+  [[nodiscard]] std::string fingerprint() const {
+    std::string out;
+    for (const auto& [acc, bal] : balances_)
+      out += acc + ":" + std::to_string(bal) + ";";
+    return out;
+  }
+  [[nodiscard]] int applied() const { return applied_; }
+  [[nodiscard]] int rejected() const { return rejected_; }
+
+ private:
+  std::map<std::string, long> balances_;
+  int applied_ = 0;
+  int rejected_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  core::RunConfig cfg;
+  cfg.groups = 2;
+  cfg.procsPerGroup = 2;
+  cfg.protocol = core::ProtocolKind::kA2;
+  cfg.latency = sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs};
+  cfg.seed = 11;
+  core::Experiment ex(cfg);
+
+  std::vector<Ledger> ledgers(4);
+  for (ProcessId p = 0; p < 4; ++p)
+    ex.node(p).onADeliver([p, &ledgers](const AppMsgPtr& m) {
+      ledgers[static_cast<size_t>(p)].apply(*m);
+    });
+
+  std::printf("WAN ledger: 2 regions x 2 replicas, A2 atomic broadcast\n\n");
+
+  // Concurrent conflicting transfers from both regions: "root" funds three
+  // accounts, the accounts shuffle money among themselves. Order matters —
+  // an early transfer out of an unfunded account must be rejected the SAME
+  // WAY everywhere.
+  const char* ops[] = {
+      "transfer root alice 300",  "transfer root bob 300",
+      "transfer alice carol 150", "transfer bob alice 100",
+      "transfer carol bob 50",    "transfer alice root 200",
+      "transfer bob carol 250",   "transfer carol alice 75",
+      "transfer dave root 10",    // always rejected: dave is unfunded
+      "transfer root dave 20",
+  };
+  std::vector<MsgId> ids;
+  for (size_t i = 0; i < std::size(ops); ++i) {
+    const auto sender = static_cast<ProcessId>(i % 4);
+    ids.push_back(ex.castAllAt(10 * kMs + static_cast<SimTime>(i) * 35 * kMs,
+                               sender, ops[i]));
+  }
+
+  auto r = ex.run();
+
+  std::printf("replica ledgers after %zu transfers:\n", std::size(ops));
+  for (ProcessId p = 0; p < 4; ++p)
+    std::printf("  p%d (region %d): %s applied=%d rejected=%d\n", p,
+                ex.runtime().topology().group(p),
+                ledgers[static_cast<size_t>(p)].fingerprint().c_str(),
+                ledgers[static_cast<size_t>(p)].applied(),
+                ledgers[static_cast<size_t>(p)].rejected());
+
+  bool identical = true;
+  for (ProcessId p = 1; p < 4; ++p)
+    identical &= ledgers[static_cast<size_t>(p)].fingerprint() ==
+                 ledgers[0].fingerprint();
+  std::printf("\nledger convergence: %s\n", identical ? "OK" : "DIVERGED");
+
+  int64_t minDeg = INT64_MAX;
+  double wallSum = 0;
+  for (MsgId id : ids) {
+    minDeg = std::min(minDeg, r.trace.latencyDegree(id).value_or(99));
+    wallSum += static_cast<double>(r.trace.wallLatency(id).value_or(0)) / kMs;
+  }
+  std::printf("best latency degree over the stream: %lld (A2's optimum: 1)\n",
+              static_cast<long long>(minDeg));
+  std::printf("mean commit latency: %.1fms (one-way WAN delay: ~100ms)\n",
+              wallSum / static_cast<double>(std::size(ops)));
+
+  auto violations = r.checkAtomicSuite();
+  std::printf("atomic broadcast properties: %s\n",
+              violations.empty() ? "OK" : violations[0].c_str());
+  return (identical && violations.empty()) ? 0 : 1;
+}

@@ -1,0 +1,159 @@
+#include "abcast/a2_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wanmc::abcast {
+
+A2Node::A2Node(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg,
+               A2Options opts)
+    : core::XcastNode(rt, pid, cfg), opts_(opts) {
+  groupConsensus_ = &addGroupConsensus();
+  groupConsensus_->onDecide(
+      [this](consensus::Instance k, const ConsensusValue& v) {
+        onDecided(k, v);
+      });
+  rm().onDeliver([this](const AppMsgPtr& m) {
+    // Task 2 (lines 6-7).
+    if (adelivered_.count(m->id)) return;
+    rdelivered_.insert(m->id);
+    rdeliveredMsgs_[m->id] = m;
+    noteArrival();
+    tryPropose();
+  });
+}
+
+void A2Node::noteArrival() {
+  const SimTime now_ = now();
+  if (lastArrival_ >= 0) {
+    const auto interval = static_cast<double>(now_ - lastArrival_);
+    ewmaIntervalUs_ = ewmaIntervalUs_ == 0
+                          ? interval
+                          : 0.75 * ewmaIntervalUs_ + 0.25 * interval;
+  }
+  lastArrival_ = now_;
+}
+
+bool A2Node::predictMoreTraffic() {
+  switch (opts_.predictor) {
+    case A2Options::Predictor::kRoundEmpty:
+      return false;  // the paper's default: one empty round => stop
+    case A2Options::Predictor::kLinger:
+      return consecutiveEmpty_ < static_cast<uint64_t>(opts_.lingerRounds);
+    case A2Options::Predictor::kRateAdaptive: {
+      if (ewmaIntervalUs_ == 0 || lastArrival_ < 0) return false;
+      const auto sinceLast = static_cast<double>(now() - lastArrival_);
+      return sinceLast < opts_.rateMultiplier * ewmaIntervalUs_;
+    }
+  }
+  return false;
+}
+
+void A2Node::xcast(const AppMsgPtr& m) {
+  recordXcast(m);
+  // line 5: R-MCast m to the sender's own group only — the bundle exchange
+  // of round K propagates it across groups.
+  rm().rmcastTo(m, topology().members(gid()));
+}
+
+void A2Node::tryPropose() {
+  // line 11: ((RDELIVERED \ ADELIVERED) != {} or K <= Barrier) and propK <= K
+  if (propK_ > K_) return;
+  if (rdelivered_.empty() && K_ > barrier_) return;
+  MsgBundle proposal;
+  proposal.reserve(rdelivered_.size());
+  for (MsgId id : rdelivered_) proposal.push_back(rdeliveredMsgs_.at(id));
+  canonicalize(proposal);
+  propK_ = K_ + 1;  // line 13
+  groupConsensus_->propose(K_, std::move(proposal));
+}
+
+void A2Node::onDecided(consensus::Instance k, const ConsensusValue& v) {
+  const auto* bundle = std::get_if<MsgBundle>(&v);
+  assert(bundle != nullptr && "A2 consensus decides MsgBundles");
+  decisionBuffer_[k] = *bundle;
+  drainDecisions();
+}
+
+void A2Node::drainDecisions() {
+  while (!awaitingBundles_) {
+    auto it = decisionBuffer_.find(K_);
+    if (it == decisionBuffer_.end()) return;
+    MsgBundle bundle = std::move(it->second);
+    decisionBuffer_.erase(it);
+    handleDecided(K_, bundle);
+  }
+}
+
+void A2Node::handleDecided(uint64_t k, const MsgBundle& bundle) {
+  // line 15: ship our group's bundle to every process of every other group
+  // (one send event).
+  auto payload = std::make_shared<const BundlePayload>(k, bundle, gid());
+  std::vector<ProcessId> others;
+  for (ProcessId q : topology().allProcesses())
+    if (topology().group(q) != gid()) others.push_back(q);
+  sendToMany(others, payload);
+  // line 17.
+  msgs_[k][gid()] = bundle;
+  awaitingBundles_ = true;
+  tryCompleteRound();
+}
+
+void A2Node::onProtocolMessage(ProcessId /*from*/, const PayloadPtr& p) {
+  const auto* b = dynamic_cast<const BundlePayload*>(p.get());
+  assert(b != nullptr && "A2 protocol layer speaks BundlePayload only");
+  // Task 3 (lines 8-10).
+  auto& slot = msgs_[b->round][b->fromGroup];
+  if (slot.empty()) slot = b->msgs;
+  barrier_ = std::max(barrier_, b->round);
+  tryPropose();
+  tryCompleteRound();
+}
+
+void A2Node::tryCompleteRound() {
+  if (!awaitingBundles_) return;
+  // line 16: one bundle from every group (ours is already in).
+  const auto& byGroup = msgs_[K_];
+  for (GroupId g = 0; g < topology().numGroups(); ++g)
+    if (byGroup.count(g) == 0) return;
+
+  // line 18: the union of all bundles...
+  MsgBundle toDeliver;
+  for (const auto& [g, bundle] : byGroup)
+    for (const AppMsgPtr& m : bundle)
+      if (!adelivered_.count(m->id)) toDeliver.push_back(m);
+  // ...A-Delivered in a deterministic order (line 19): by message id.
+  canonicalize(toDeliver);
+  toDeliver.erase(std::unique(toDeliver.begin(), toDeliver.end(),
+                              [](const AppMsgPtr& a, const AppMsgPtr& b) {
+                                return a->id == b->id;
+                              }),
+                  toDeliver.end());
+
+  for (const AppMsgPtr& m : toDeliver) {
+    adelivered_.insert(m->id);  // line 20
+    rdelivered_.erase(m->id);
+    rdeliveredMsgs_.erase(m->id);
+    if (shouldDeliver(*m)) adeliver(m);
+  }
+
+  msgs_.erase(K_);
+  ++K_;  // line 21
+  ++roundsExecuted_;
+  awaitingBundles_ = false;
+  if (!toDeliver.empty()) {
+    ++usefulRounds_;
+    consecutiveEmpty_ = 0;
+    barrier_ = std::max(barrier_, K_);  // lines 22-23
+  } else {
+    ++consecutiveEmpty_;
+    // §5.3 extension: a prediction strategy may keep rounds running past
+    // the paper's stop-on-first-empty-round default.
+    if (predictMoreTraffic()) barrier_ = std::max(barrier_, K_);
+  }
+
+  tryPropose();
+  drainDecisions();
+}
+
+}  // namespace wanmc::abcast

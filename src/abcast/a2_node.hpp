@@ -1,0 +1,134 @@
+// Algorithm A2 — atomic broadcast with latency degree 1 (paper §5).
+//
+// Processes execute a sequence of rounds. In round K:
+//   1. inside each group, consensus defines the group's *bundle*: the set of
+//      messages R-Delivered but not yet A-Delivered (possibly empty);
+//   2. every process sends its group's bundle to all processes of the other
+//      groups and waits for one bundle per remote group;
+//   3. the union of all bundles is A-Delivered in a deterministic order.
+//
+// The protocol is *proactive*: rounds run even when nothing was broadcast —
+// that is what buys latency degree 1 (Theorem 5.1), which no quiescent or
+// genuine-multicast algorithm can achieve (Prop. 3.1-3.3). It is still
+// *quiescent* (Prop. A.9): a round that delivers nothing does not raise
+// Barrier, and a process only starts round K if it has undelivered messages
+// or K <= Barrier. Prediction mistakes are tolerated: a bundle received for
+// round x raises Barrier to x, which restarts rounds on groups that had
+// stopped — those runs pay latency degree 2 (Theorem 5.2), matching the
+// quiescence lower bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/consensus_value.hpp"
+#include "core/stack_node.hpp"
+
+namespace wanmc::abcast {
+
+// (K, msgSet) of line 15: a group's bundle for round K.
+struct BundlePayload final : Payload {
+  uint64_t round = 0;
+  MsgBundle msgs;
+  GroupId fromGroup = kNoGroup;
+
+  BundlePayload(uint64_t r, MsgBundle b, GroupId g)
+      : round(r), msgs(std::move(b)), fromGroup(g) {}
+  [[nodiscard]] Layer layer() const override { return Layer::kProtocol; }
+  [[nodiscard]] std::string debugString() const override {
+    return "bundle(r=" + std::to_string(round) +
+           ",n=" + std::to_string(msgs.size()) + ")";
+  }
+};
+
+// Quiescence prediction strategy (§5.3): when does a process decide that no
+// further messages will be broadcast and stop executing rounds?
+//
+// The paper's algorithm stops after the first round that delivers nothing
+// (kRoundEmpty) and §5.3 closes with: "In case the broadcast frequency is
+// too low or not constant, to prevent processes from stopping prematurely,
+// more elaborate prediction strategies based on application behavior could
+// be used." The two extra predictors implement that suggestion:
+//   kLinger        — tolerate `lingerRounds` consecutive empty rounds before
+//                    stopping (a fixed hysteresis);
+//   kRateAdaptive  — estimate the message inter-arrival time (EWMA over
+//                    R-Deliver and bundle arrivals) and keep rounds running
+//                    while another message is plausibly imminent.
+// All predictors only affect WHEN rounds stop, never safety: a wrong
+// prediction costs either latency (stopped too early: Theorem 5.2's extra
+// WAN delay on restart) or bandwidth (stopped too late: empty rounds).
+struct A2Options {
+  enum class Predictor { kRoundEmpty, kLinger, kRateAdaptive };
+  Predictor predictor = Predictor::kRoundEmpty;
+  int lingerRounds = 2;          // kLinger: empty rounds tolerated
+  double rateMultiplier = 4.0;   // kRateAdaptive: linger while
+                                 // now - lastArrival < mult * ewma
+};
+
+class A2Node : public core::XcastNode {
+ public:
+  A2Node(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg,
+         A2Options opts = {});
+
+  // A-BCast m (Task 1, lines 4-5): R-MCast m to the sender's own group.
+  void xcast(const AppMsgPtr& m) override;
+
+  // Introspection for tests / benches.
+  [[nodiscard]] uint64_t round() const { return K_; }
+  [[nodiscard]] uint64_t barrier() const { return barrier_; }
+  [[nodiscard]] uint64_t roundsExecuted() const { return roundsExecuted_; }
+  [[nodiscard]] uint64_t usefulRounds() const { return usefulRounds_; }
+  [[nodiscard]] bool quiescentNow() const {
+    // True when this process would not start another round on its own.
+    return rdelivered_.empty() && K_ > barrier_ && propK_ <= K_;
+  }
+
+ protected:
+  void onProtocolMessage(ProcessId from, const PayloadPtr& p) override;
+
+  // Hook for the non-genuine broadcast-based multicast of the paper's
+  // introduction: the ordering machinery runs at every process, but only
+  // addressees A-Deliver. Default: deliver everywhere (true broadcast).
+  [[nodiscard]] virtual bool shouldDeliver(const AppMessage&) const {
+    return true;
+  }
+
+ private:
+  // Task 4 guard (line 11).
+  void tryPropose();
+  // Predictor hook: called at the end of an EMPTY round; returns true if
+  // the process should nevertheless keep executing rounds.
+  [[nodiscard]] bool predictMoreTraffic();
+  void noteArrival();
+  void onDecided(consensus::Instance k, const ConsensusValue& v);
+  void drainDecisions();
+  // Lines 15-23, entered when the decision for round K_ is available.
+  void handleDecided(uint64_t k, const MsgBundle& bundle);
+  // Line 16: complete round K_ once one bundle per group is present.
+  void tryCompleteRound();
+
+  consensus::ConsensusService* groupConsensus_ = nullptr;
+
+  uint64_t K_ = 1;
+  uint64_t propK_ = 1;
+  uint64_t barrier_ = 0;
+  std::set<MsgId> rdelivered_;     // RDELIVERED \ ADELIVERED
+  std::map<MsgId, AppMsgPtr> rdeliveredMsgs_;
+  std::set<MsgId> adelivered_;
+  // Msgs: round -> group -> bundle.
+  std::map<uint64_t, std::map<GroupId, MsgBundle>> msgs_;
+  std::map<consensus::Instance, MsgBundle> decisionBuffer_;
+  bool awaitingBundles_ = false;  // decided round K_, waiting for line 16
+
+  uint64_t roundsExecuted_ = 0;
+  uint64_t usefulRounds_ = 0;
+
+  A2Options opts_;
+  uint64_t consecutiveEmpty_ = 0;
+  SimTime lastArrival_ = -1;
+  double ewmaIntervalUs_ = 0;  // 0 = no estimate yet
+};
+
+}  // namespace wanmc::abcast

@@ -1,0 +1,112 @@
+#include "abcast/merge_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wanmc::abcast {
+
+MergeNode::MergeNode(sim::Runtime& rt, ProcessId pid,
+                     const core::StackConfig& cfg, MergeOptions opts)
+    : core::XcastNode(rt, pid, cfg), opts_(opts) {
+  for (ProcessId q : rt.topology().allProcesses()) streams_[q];  // all pubs
+}
+
+void MergeNode::startProtocol() {
+  tick();
+}
+
+void MergeNode::tick() {
+  // Publish a heartbeat carrying the current tick: it advances our stream
+  // frontier at every subscriber even when we have nothing to say, which
+  // is what lets every subscriber run the same deterministic merge.
+  // Heartbeats are for IDLE publishers ([1]): a publisher that sent a data
+  // event within the last period stays silent — the data already advanced
+  // its frontier, and a redundant heartbeat would tick the Lamport clock
+  // past the publisher's own delivery of that data.
+  if (now() == 0 || now() - lastSentAt_ >= opts_.heartbeatPeriod) {
+    const uint64_t ts = nowTick();
+    lastSentAt_ = now();
+    auto hb =
+        std::make_shared<const MergePayload>(true, nullptr, ts, pubSeq_++);
+    std::vector<ProcessId> others;
+    for (ProcessId q : topology().allProcesses())
+      if (q != pid()) others.push_back(q);
+    sendToMany(others, hb);
+    advanceStream(pid(), hb);
+  }
+  timer(opts_.heartbeatPeriod, [this]() { tick(); });
+}
+
+void MergeNode::xcast(const AppMsgPtr& m) {
+  recordXcast(m);
+  // Data events are stamped with the CURRENT tick: several events of one
+  // publisher may share a tick and are ordered by their event counter.
+  const uint64_t ts = nowTick();
+  lastSentAt_ = now();
+  auto data = std::make_shared<const MergePayload>(false, m, ts, pubSeq_++);
+  // [1]'s model has publishers cast to EVERY subscriber (that is what keeps
+  // every stream frontier moving); in multicast mode non-addressees receive
+  // the event but only use it as a frontier advance — advanceStream filters
+  // the merge buffer by addressee.
+  std::vector<ProcessId> others;
+  for (ProcessId q : topology().allProcesses())
+    if (q != pid()) others.push_back(q);
+  sendToMany(others, data);
+  advanceStream(pid(), data);
+}
+
+void MergeNode::onProtocolMessage(ProcessId from, const PayloadPtr& p) {
+  auto mp = std::dynamic_pointer_cast<const MergePayload>(p);
+  assert(mp != nullptr);
+  advanceStream(from, mp);
+}
+
+void MergeNode::advanceStream(ProcessId pub,
+                              const std::shared_ptr<const MergePayload>& ev) {
+  Stream& s = streams_[pub];
+  s.buffered[ev->seq] = ev;
+  // Consume the contiguous prefix: links are not FIFO, the per-publisher
+  // event counter restores stream order.
+  for (auto it = s.buffered.find(s.nextSeq); it != s.buffered.end();
+       it = s.buffered.find(s.nextSeq)) {
+    const auto& e = it->second;
+    s.frontierTs = e->eventTs;
+    if (!e->isHeartbeat) {
+      const AppMessage& m = *e->msg;
+      const bool addressee = !opts_.multicastMode ||
+                             m.dest.contains(gid());
+      if (addressee)
+        mergeBuf_[{e->eventTs, pub, e->seq}] = e->msg;
+    }
+    ++s.nextSeq;
+    s.buffered.erase(it);
+  }
+  tryDeliver();
+}
+
+void MergeNode::tryDeliver() {
+  // A buffered event (ts, P, seq) is deliverable once no event that sorts
+  // before it can still arrive. Publishers stamp nondecreasing ticks, so a
+  // publisher Q can still produce events with timestamp equal to its
+  // frontier: an event of Q with the SAME ts would sort before ours iff
+  // Q < P, hence the strict frontier requirement for smaller-id publishers
+  // and the non-strict one for larger ids.
+  while (!mergeBuf_.empty()) {
+    auto it = mergeBuf_.begin();
+    const auto [ts, pub, seq] = it->first;
+    bool deliverable = true;
+    for (const auto& [q, s] : streams_) {
+      if (q == pub) continue;
+      if (q < pub ? s.frontierTs <= ts : s.frontierTs < ts) {
+        deliverable = false;
+        break;
+      }
+    }
+    if (!deliverable) break;
+    AppMsgPtr m = it->second;
+    mergeBuf_.erase(it);
+    adeliver(m);
+  }
+}
+
+}  // namespace wanmc::abcast

@@ -1,0 +1,115 @@
+#include "abcast/sequencer_node.hpp"
+
+#include <cassert>
+
+namespace wanmc::abcast {
+
+SequencerNode::SequencerNode(sim::Runtime& rt, ProcessId pid,
+                             const core::StackConfig& cfg,
+                             SequencerMode mode)
+    : core::XcastNode(rt, pid, cfg), mode_(mode) {
+  fd().onSuspicion([this](ProcessId) { maybeSequence(); });
+}
+
+ProcessId SequencerNode::currentSequencer() const {
+  for (ProcessId q : topology().allProcesses())
+    if (!fd().suspects(q)) return q;
+  return 0;
+}
+
+void SequencerNode::xcast(const AppMsgPtr& m) {
+  recordXcast(m);
+  auto data = std::make_shared<const SeqPayload>(SeqPayload::Kind::kData, m,
+                                                 m->id, 0);
+  sendToMany(everyoneElse(), data);
+  noteData(m, pid());
+}
+
+void SequencerNode::noteData(const AppMsgPtr& m, ProcessId holder) {
+  if (data_.count(m->id) == 0) {
+    data_[m->id] = m;
+    optimistic_.push_back(m->id);  // optimistic delivery
+    if (snOf_.count(m->id) == 0) unsequenced_.insert(m->id);
+    // Sequence BEFORE echoing: the SEQ broadcast doubles as the
+    // sequencer's echo, so the sequencing hop and the echo hop run in
+    // parallel and the final delivery stays at latency degree 2.
+    maybeSequence();
+    if (mode_ == SequencerMode::kUniformEcho &&
+        currentSequencer() != pid()) {
+      auto echo = std::make_shared<const SeqPayload>(SeqPayload::Kind::kEcho,
+                                                     m, m->id, 0);
+      sendToMany(everyoneElse(), echo);
+    }
+    echoes_[m->id].insert(pid());
+  }
+  echoes_[m->id].insert(holder);
+  tryFinalDeliver();
+}
+
+void SequencerNode::onProtocolMessage(ProcessId from, const PayloadPtr& p) {
+  const auto* sp = dynamic_cast<const SeqPayload*>(p.get());
+  assert(sp != nullptr);
+  switch (sp->kind) {
+    case SeqPayload::Kind::kData: {
+      // Echo m to everyone: once a majority is known to hold m, the final
+      // order is stable across crashes (uniformity).
+      noteData(sp->msg, from);  // the sender holds m too
+      break;
+    }
+    case SeqPayload::Kind::kSeq: {
+      if (snOf_.count(sp->msgId) == 0) {
+        snOf_[sp->msgId] = sp->sn;
+        assigned_[sp->sn] = sp->msgId;
+        unsequenced_.erase(sp->msgId);
+        nextSn_ = std::max(nextSn_, sp->sn + 1);
+      }
+      // The SEQ broadcast doubles as the sequencer's echo.
+      echoes_[sp->msgId].insert(from);
+      tryFinalDeliver();
+      break;
+    }
+    case SeqPayload::Kind::kEcho: {
+      // First sight via echo behaves like first sight via data: the echo
+      // carries the payload (a fast peer's echo can overtake the sender's
+      // own data packet).
+      noteData(sp->msg, from);
+      break;
+    }
+  }
+}
+
+void SequencerNode::maybeSequence() {
+  if (currentSequencer() != pid()) return;
+  // Assign sequence numbers to every known-but-unsequenced message, in
+  // message-id order for determinism within a batch.
+  while (!unsequenced_.empty()) {
+    const MsgId id = *unsequenced_.begin();
+    unsequenced_.erase(unsequenced_.begin());
+    if (snOf_.count(id)) continue;
+    const uint64_t sn = nextSn_++;
+    snOf_[id] = sn;
+    assigned_[sn] = id;
+    auto seq = std::make_shared<const SeqPayload>(SeqPayload::Kind::kSeq,
+                                                  nullptr, id, sn);
+    sendToMany(everyoneElse(), seq);
+  }
+  tryFinalDeliver();
+}
+
+void SequencerNode::tryFinalDeliver() {
+  const size_t majority =
+      static_cast<size_t>(topology().numProcesses()) / 2 + 1;
+  for (auto it = assigned_.find(nextDeliver_); it != assigned_.end();
+       it = assigned_.find(nextDeliver_)) {
+    const MsgId id = it->second;
+    auto d = data_.find(id);
+    if (d == data_.end()) return;  // sn known, payload still in flight
+    if (mode_ == SequencerMode::kUniformEcho &&
+        echoes_[id].size() < majority)
+      return;  // stability: a majority must hold m before final delivery
+    ++nextDeliver_;
+    adeliver(d->second);
+  }
+}
+
+}  // namespace wanmc::abcast

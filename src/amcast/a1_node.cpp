@@ -1,0 +1,190 @@
+#include "amcast/a1_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wanmc::amcast {
+
+A1Node::A1Node(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg,
+               A1Options opts)
+    : core::XcastNode(rt, pid, cfg), opts_(opts) {
+  groupConsensus_ = &addGroupConsensus();
+  groupConsensus_->onDecide(
+      [this](consensus::Instance k, const ConsensusValue& v) {
+        onDecided(k, v);
+      });
+  rm().onDeliver([this](const AppMsgPtr& m) {
+    noteMessage(m);
+    tryPropose();
+  });
+}
+
+void A1Node::xcast(const AppMsgPtr& m) {
+  assert(!m->dest.empty());
+  recordXcast(m);
+  rm().rmcast(m);  // line 9: R-MCast(m) to {q | q in m.dest}
+}
+
+void A1Node::noteMessage(const AppMsgPtr& m) {
+  // Uniform integrity: only destination processes handle m.
+  if (!m->dest.contains(gid())) return;
+  if (pending_.count(m->id) || adelivered_.count(m->id)) return;
+  pending_[m->id] = Pend{m, Stage::s0, K_};  // lines 11-13
+}
+
+void A1Node::tryPropose() {
+  if (propK_ > K_) return;  // one proposal per instance (line 14)
+  A1EntrySet set;
+  for (const auto& [id, p] : pending_) {
+    if (p.stage == Stage::s0 || p.stage == Stage::s2)
+      set.push_back(A1Entry{p.msg, p.stage, p.ts});
+  }
+  if (set.empty()) return;
+  canonicalize(set);
+  propK_ = K_ + 1;  // line 17
+  groupConsensus_->propose(K_, std::move(set));
+}
+
+void A1Node::onDecided(consensus::Instance k, const ConsensusValue& v) {
+  const auto* entries = std::get_if<A1EntrySet>(&v);
+  assert(entries != nullptr && "A1 consensus decides A1EntrySets");
+  decisionBuffer_[k] = *entries;
+  drainDecisions();
+}
+
+void A1Node::drainDecisions() {
+  // Decisions are applied in group-clock order: the sequence of instances a
+  // group executes is the same on all members (paper Lemma A.1), but a
+  // member that lags can receive the DECIDE for instance k' > K_ early.
+  for (auto it = decisionBuffer_.find(K_); it != decisionBuffer_.end();
+       it = decisionBuffer_.find(K_)) {
+    A1EntrySet entries = std::move(it->second);
+    decisionBuffer_.erase(it);
+    handleDecided(K_, entries);
+  }
+}
+
+void A1Node::handleDecided(consensus::Instance k, const A1EntrySet& entries) {
+  ++instancesDecided_;
+  uint64_t maxTs = 0;
+  std::vector<MsgId> newlyS1;
+
+  for (const A1Entry& e : entries) {
+    const AppMsgPtr& m = e.msg;
+    if (adelivered_.count(m->id)) continue;  // already done here
+    Pend& p = pending_[m->id];               // line 30: add or update
+    p.msg = m;
+
+    if (e.stage == Stage::s2) {
+      // line 26: the second consensus fixed the group clock; the final
+      // timestamp was already adopted at line 39.
+      p.ts = e.ts;
+      p.stage = Stage::s3;
+    } else if (m->dest.size() > 1) {
+      // lines 21-24: define this group's proposal (= k) and exchange it.
+      p.ts = k;
+      p.stage = Stage::s1;
+      tsProposals_[m->id][gid()] = k;
+      auto ts = std::make_shared<const TsPayload>(m, k, gid());
+      std::vector<ProcessId> remoteDests;
+      for (GroupId g : m->dest.groups()) {
+        if (g == gid()) continue;
+        for (ProcessId q : topology().members(g)) remoteDests.push_back(q);
+      }
+      sendToMany(remoteDests, ts);  // line 24: one send event
+      newlyS1.push_back(m->id);
+    } else {
+      // lines 28-29: single destination group. With the skip optimization m
+      // jumps straight to s3; without it ([5]) m still walks through s1/s2,
+      // which for one group degenerates to an extra consensus instance.
+      p.ts = k;
+      if (opts_.skipSingleGroup) {
+        p.stage = Stage::s3;
+      } else {
+        p.stage = Stage::s1;
+        tsProposals_[m->id][gid()] = k;
+        newlyS1.push_back(m->id);
+      }
+    }
+    maxTs = std::max(maxTs, p.ts);
+  }
+
+  // line 31: push the group clock past every decided timestamp.
+  K_ = std::max(maxTs, K_) + 1;
+
+  adeliveryTest();  // line 32
+
+  // A proposal for the new instance may now be possible, and messages that
+  // just reached s1 may already have all their remote proposals buffered.
+  for (MsgId id : newlyS1) checkStage1(id);
+  tryPropose();
+  drainDecisions();
+}
+
+void A1Node::onProtocolMessage(ProcessId /*from*/, const PayloadPtr& p) {
+  const auto* ts = dynamic_cast<const TsPayload*>(p.get());
+  assert(ts != nullptr && "A1 protocol layer speaks TsPayload only");
+  noteMessage(ts->msg);  // line 10: (TS, m) also introduces m
+  tsProposals_[ts->msg->id][ts->fromGroup] =
+      std::max(tsProposals_[ts->msg->id][ts->fromGroup], ts->ts);
+  checkStage1(ts->msg->id);
+  tryPropose();
+}
+
+void A1Node::checkStage1(MsgId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pend& p = it->second;
+  if (p.stage != Stage::s1) return;
+
+  // line 33: one proposal from every remote destination group.
+  const auto& proposals = tsProposals_[id];
+  for (GroupId g : p.msg->dest.groups()) {
+    if (g != gid() && proposals.count(g) == 0) return;
+  }
+
+  uint64_t max = 0;  // line 34: TSset includes our own proposal (p.ts)
+  for (const auto& [g, ts] : proposals) max = std::max(max, ts);
+  max = std::max(max, p.ts);
+
+  if (opts_.skipMaxProposal && p.ts >= max) {
+    // line 35-36: our group proposed the final timestamp; its clock is
+    // already beyond it (line 31 ran when the proposal was decided).
+    p.stage = Stage::s3;
+    adeliveryTest();
+  } else {
+    // lines 39-40: adopt the final timestamp; a second consensus will push
+    // the group clock past it.
+    p.ts = max;
+    p.stage = Stage::s2;
+    tryPropose();
+  }
+}
+
+void A1Node::adeliveryTest() {
+  // lines 3-7: deliver every s3 message whose (ts, id) is minimal among ALL
+  // pending messages (any stage).
+  for (;;) {
+    const Pend* best = nullptr;
+    MsgId bestId = 0;
+    bool blocked = false;
+    for (const auto& [id, p] : pending_) {
+      if (best == nullptr ||
+          std::pair(p.ts, id) < std::pair(best->ts, bestId)) {
+        best = &p;
+        bestId = id;
+      }
+    }
+    if (best == nullptr) return;
+    if (best->stage != Stage::s3) blocked = true;
+    if (blocked) return;
+
+    AppMsgPtr m = best->msg;
+    adelivered_.insert(bestId);
+    pending_.erase(bestId);
+    tsProposals_.erase(bestId);
+    adeliver(m);
+  }
+}
+
+}  // namespace wanmc::amcast

@@ -1,0 +1,152 @@
+#include "amcast/ring_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wanmc::amcast {
+
+RingNode::RingNode(sim::Runtime& rt, ProcessId pid,
+                   const core::StackConfig& cfg)
+    : core::XcastNode(rt, pid, cfg) {
+  groupConsensus_ = &addGroupConsensus();
+  groupConsensus_->onDecide(
+      [this](consensus::Instance k, const ConsensusValue& v) {
+        onDecided(k, v);
+      });
+}
+
+GroupId RingNode::nextGroup(const AppMessage& m, GroupId g) {
+  auto ring = m.dest.groups();  // ascending group ids
+  for (size_t i = 0; i + 1 < ring.size(); ++i)
+    if (ring[i] == g) return ring[i + 1];
+  return kNoGroup;
+}
+
+void RingNode::xcast(const AppMsgPtr& m) {
+  assert(!m->dest.empty());
+  recordXcast(m);
+  const GroupId g1 = firstGroup(*m);
+  auto start = std::make_shared<const RingPayload>(RingPayload::Kind::kStart,
+                                                   m, 0, gid());
+  std::vector<ProcessId> tos;
+  for (ProcessId q : topology().members(g1))
+    if (q != pid()) tos.push_back(q);
+  sendToMany(tos, start);
+  if (gid() == g1) noteCandidate(m, /*defined=*/false, 0);
+}
+
+void RingNode::onProtocolMessage(ProcessId /*from*/, const PayloadPtr& p) {
+  const auto* rp = dynamic_cast<const RingPayload*>(p.get());
+  assert(rp != nullptr);
+  switch (rp->kind) {
+    case RingPayload::Kind::kStart:
+      noteCandidate(rp->msg, /*defined=*/false, 0);
+      break;
+    case RingPayload::Kind::kHandover:
+      noteCandidate(rp->msg, /*defined=*/true, rp->ts);
+      break;
+    case RingPayload::Kind::kAck:
+      acked_.insert(rp->msg->id);
+      pumpQueue();
+      break;
+  }
+}
+
+void RingNode::noteCandidate(const AppMsgPtr& m, bool defined, uint64_t ts) {
+  if (done_.count(m->id) || agreed_.count(m->id) || candidates_.count(m->id))
+    return;
+  candidates_[m->id] = Cand{m, defined, ts};
+  tryPropose();
+}
+
+void RingNode::tryPropose() {
+  if (propK_ > K_) return;
+  A1EntrySet set;
+  for (const auto& [id, c] : candidates_) {
+    // Reuse the A1 entry encoding: s0 = "this group defines the timestamp",
+    // s2 = "accept the handed-over timestamp `ts`".
+    set.push_back(A1Entry{c.msg, c.defined ? Stage::s2 : Stage::s0, c.ts});
+  }
+  if (set.empty()) return;
+  canonicalize(set);
+  propK_ = K_ + 1;
+  groupConsensus_->propose(K_, std::move(set));
+}
+
+void RingNode::onDecided(consensus::Instance k, const ConsensusValue& v) {
+  const auto* entries = std::get_if<A1EntrySet>(&v);
+  assert(entries != nullptr);
+  decisionBuffer_[k] = *entries;
+  drainDecisions();
+}
+
+void RingNode::drainDecisions() {
+  for (auto it = decisionBuffer_.find(K_); it != decisionBuffer_.end();
+       it = decisionBuffer_.find(K_)) {
+    A1EntrySet entries = std::move(it->second);
+    decisionBuffer_.erase(it);
+    handleDecided(K_, entries);
+  }
+}
+
+void RingNode::handleDecided(uint64_t k, const A1EntrySet& entries) {
+  uint64_t maxTs = k;
+  for (const A1Entry& e : entries) {
+    const MsgId id = e.msg->id;
+    candidates_.erase(id);
+    if (done_.count(id) || agreed_.count(id)) continue;
+    // g1 defines the timestamp as the consensus instance number; later
+    // groups adopt the handed-over one and push their clock past it.
+    const uint64_t ts = (e.stage == Stage::s0) ? k : e.ts;
+    agreed_[id] = Cand{e.msg, true, ts};
+    queue_.push_back(id);  // entries are sorted by id: deterministic order
+    maxTs = std::max(maxTs, ts);
+  }
+  K_ = std::max(maxTs, K_) + 1;
+  pumpQueue();
+  tryPropose();
+  drainDecisions();
+}
+
+void RingNode::pumpQueue() {
+  while (!queue_.empty()) {
+    const MsgId id = queue_.front();
+    const Cand& c = agreed_.at(id);
+    const AppMessage& m = *c.msg;
+
+    if (!forwarded_.count(id)) {
+      forwarded_.insert(id);
+      const GroupId next = nextGroup(m, gid());
+      if (next != kNoGroup) {
+        // Hand m over to the next group on its ring (all-to-all between the
+        // two groups, for fault tolerance: any correct member keeps the
+        // chain alive).
+        auto h = std::make_shared<const RingPayload>(
+            RingPayload::Kind::kHandover, c.msg, c.ts, gid());
+        sendToMany(topology().members(next), h);
+      } else {
+        // We are gk: acknowledge to every destination process outside our
+        // group; our own group learns locally.
+        auto a = std::make_shared<const RingPayload>(RingPayload::Kind::kAck,
+                                                     c.msg, c.ts, gid());
+        std::vector<ProcessId> tos;
+        for (ProcessId q : topology().membersOf(m.dest))
+          if (topology().group(q) != gid()) tos.push_back(q);
+        sendToMany(tos, a);
+        acked_.insert(id);
+      }
+    }
+
+    if (!acked_.count(id)) return;  // head-of-line wait for the final ack
+
+    AppMsgPtr msg = c.msg;
+    queue_.pop_front();
+    agreed_.erase(id);
+    forwarded_.erase(id);
+    acked_.erase(id);
+    done_.insert(id);
+    adeliver(msg);
+  }
+}
+
+}  // namespace wanmc::amcast

@@ -1,0 +1,150 @@
+#include "amcast/rodrigues_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wanmc::amcast {
+
+RodriguesNode::RodriguesNode(sim::Runtime& rt, ProcessId pid,
+                             const core::StackConfig& cfg)
+    : core::XcastNode(rt, pid, cfg) {}
+
+void RodriguesNode::xcast(const AppMsgPtr& m) {
+  assert(!m->dest.empty());
+  recordXcast(m);
+  auto data = std::make_shared<const RodriguesPayload>(
+      RodriguesPayload::Kind::kData, m, 0);
+  std::vector<ProcessId> tos;
+  for (ProcessId q : topology().membersOf(m->dest))
+    if (q != pid()) tos.push_back(q);
+  sendToMany(tos, data);
+  if (m->dest.contains(gid())) noteMessage(m);
+}
+
+consensus::ConsensusService& RodriguesNode::serviceFor(const AppMsgPtr& m) {
+  if (auto* svc = findConsensus(kScopeBase + m->id)) return *svc;
+  return addConsensus(kScopeBase + m->id, topology().membersOf(m->dest));
+}
+
+void RodriguesNode::noteMessage(const AppMsgPtr& m) {
+  if (!m->dest.contains(gid())) return;
+  if (delivered_.count(m->id) || pending_.count(m->id)) return;
+
+  Pend& p = pending_[m->id];
+  p.msg = m;
+  p.myVote = clock_++;
+  p.votes[pid()] = p.myVote;
+  knownMsgs_[m->id] = m;
+
+  // One consensus instance per message, across the destination processes.
+  auto& svc = serviceFor(m);
+  svc.onDecide([this, id = m->id](consensus::Instance,
+                                  const ConsensusValue& v) {
+    const auto* ts = std::get_if<uint64_t>(&v);
+    assert(ts != nullptr);
+    onDecided(id, *ts);
+  });
+
+  auto vote = std::make_shared<const RodriguesPayload>(
+      RodriguesPayload::Kind::kVote, m, p.myVote);
+  std::vector<ProcessId> voteTos;
+  for (ProcessId q : topology().membersOf(m->dest))
+    if (q != pid()) voteTos.push_back(q);
+  sendToMany(voteTos, vote);
+
+  // Replay consensus packets that arrived before we knew the message.
+  auto early = std::move(earlyConsensus_);
+  earlyConsensus_.clear();
+  for (auto& [from, payload] : early) onMessage(from, payload);
+
+  maybePropose(m->id);
+}
+
+void RodriguesNode::onProtocolMessage(ProcessId from, const PayloadPtr& p) {
+  const auto* rp = dynamic_cast<const RodriguesPayload*>(p.get());
+  assert(rp != nullptr);
+  noteMessage(rp->msg);
+  if (rp->kind == RodriguesPayload::Kind::kVote) {
+    auto it = pending_.find(rp->msg->id);
+    if (it != pending_.end()) {
+      it->second.votes[from] = rp->ts;
+      // Keep the local clock ahead of every vote seen: later messages then
+      // vote (and decide) above everything already ordered.
+      clock_ = std::max(clock_, rp->ts + 1);
+      maybePropose(rp->msg->id);
+    }
+  }
+}
+
+consensus::ConsensusService* RodriguesNode::onUnknownConsensusScope(
+    ProcessId from, const consensus::ConsensusPayload& cp) {
+  // A consensus packet for a message we have not seen yet (possible under
+  // heavy jitter): buffer it; noteMessage replays it once m arrives.
+  earlyConsensus_.push_back(
+      {from, std::make_shared<consensus::ConsensusPayload>(cp)});
+  return nullptr;
+}
+
+void RodriguesNode::maybePropose(MsgId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pend& p = it->second;
+  if (p.proposed || p.decided) return;
+
+  // Wait for a vote from every unsuspected destination process, and at
+  // least a majority of every destination group.
+  for (GroupId g : p.msg->dest.groups()) {
+    size_t have = 0;
+    for (ProcessId q : topology().members(g)) {
+      if (p.votes.count(q)) {
+        ++have;
+      } else if (!fd().suspects(q)) {
+        return;  // still waiting for a live voter
+      }
+    }
+    if (have < static_cast<size_t>(topology().groupSize(g)) / 2 + 1) return;
+  }
+
+  uint64_t maxVote = 0;
+  for (const auto& [q, v] : p.votes) maxVote = std::max(maxVote, v);
+  p.proposed = true;
+  serviceFor(p.msg).propose(1, maxVote);
+}
+
+void RodriguesNode::onDecided(MsgId id, uint64_t finalTs) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.decided) return;
+  it->second.decided = true;
+  it->second.finalTs = finalTs;
+  clock_ = std::max(clock_, finalTs + 1);
+  tryDeliver();
+}
+
+void RodriguesNode::tryDeliver() {
+  // Deliver decided messages in (finalTs, id) order, held back by any
+  // pending message whose final timestamp could still be smaller. Our own
+  // vote is a lower bound on every final timestamp (the decision is a
+  // maximum over a vote set that includes every unsuspected process).
+  for (;;) {
+    const Pend* best = nullptr;
+    MsgId bestId = 0;
+    for (const auto& [id, p] : pending_) {
+      const uint64_t bound = p.decided ? p.finalTs : p.myVote;
+      if (best == nullptr ||
+          std::pair(bound, id) <
+              std::pair(best->decided ? best->finalTs : best->myVote,
+                        bestId)) {
+        best = &p;
+        bestId = id;
+      }
+    }
+    if (best == nullptr || !best->decided) return;
+
+    AppMsgPtr m = best->msg;
+    delivered_.insert(bestId);
+    pending_.erase(bestId);
+    adeliver(m);
+  }
+}
+
+}  // namespace wanmc::amcast

@@ -1,0 +1,96 @@
+#include "amcast/skeen_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wanmc::amcast {
+
+SkeenNode::SkeenNode(sim::Runtime& rt, ProcessId pid,
+                     const core::StackConfig& cfg)
+    : core::XcastNode(rt, pid, cfg) {}
+
+void SkeenNode::xcast(const AppMsgPtr& m) {
+  assert(!m->dest.empty());
+  recordXcast(m);
+  auto data = std::make_shared<const SkeenPayload>(SkeenPayload::Kind::kData,
+                                                   m, 0);
+  std::vector<ProcessId> tos;
+  for (ProcessId q : topology().membersOf(m->dest))
+    if (q != pid()) tos.push_back(q);
+  sendToMany(tos, data);
+  if (m->dest.contains(gid())) noteMessage(m);
+}
+
+void SkeenNode::onProtocolMessage(ProcessId from, const PayloadPtr& p) {
+  const auto* sp = dynamic_cast<const SkeenPayload*>(p.get());
+  assert(sp != nullptr);
+  noteMessage(sp->msg);
+  if (sp->kind == SkeenPayload::Kind::kVote) {
+    auto it = pending_.find(sp->msg->id);
+    if (it != pending_.end() && !it->second.decided) {
+      it->second.votes[from] = sp->ts;
+      clock_ = std::max(clock_, sp->ts + 1);
+      maybeDecide(sp->msg->id);
+    }
+  }
+}
+
+void SkeenNode::noteMessage(const AppMsgPtr& m) {
+  if (!m->dest.contains(gid())) return;
+  if (delivered_.count(m->id) || pending_.count(m->id)) return;
+  Pend& p = pending_[m->id];
+  p.msg = m;
+  p.myVote = clock_++;
+  p.votes[pid()] = p.myVote;
+  // Decentralized vote exchange: every destination process learns every
+  // vote, so everyone computes the same maximum without a round trip
+  // through the sender.
+  auto vote = std::make_shared<const SkeenPayload>(SkeenPayload::Kind::kVote,
+                                                   m, p.myVote);
+  std::vector<ProcessId> tos;
+  for (ProcessId q : topology().membersOf(m->dest))
+    if (q != pid()) tos.push_back(q);
+  sendToMany(tos, vote);
+  maybeDecide(m->id);
+}
+
+void SkeenNode::maybeDecide(MsgId id) {
+  Pend& p = pending_.at(id);
+  // Failure-free model: wait for the vote of EVERY destination process.
+  const auto dests = topology().membersOf(p.msg->dest);
+  for (ProcessId q : dests)
+    if (p.votes.count(q) == 0) return;
+  uint64_t max = 0;
+  for (const auto& [q, v] : p.votes) max = std::max(max, v);
+  p.decided = true;
+  p.finalTs = max;
+  clock_ = std::max(clock_, max + 1);
+  tryDeliver();
+}
+
+void SkeenNode::tryDeliver() {
+  // Deliver decided messages in (finalTs, id) order. An undecided message
+  // holds everything with a larger (bound, id) back; our own vote is a
+  // lower bound on its final timestamp (the maximum includes it).
+  for (;;) {
+    const Pend* best = nullptr;
+    MsgId bestId = 0;
+    for (const auto& [id, p] : pending_) {
+      const uint64_t bound = p.decided ? p.finalTs : p.myVote;
+      if (best == nullptr ||
+          std::pair(bound, id) <
+              std::pair(best->decided ? best->finalTs : best->myVote,
+                        bestId)) {
+        best = &p;
+        bestId = id;
+      }
+    }
+    if (best == nullptr || !best->decided) return;
+    AppMsgPtr m = best->msg;
+    delivered_.insert(bestId);
+    pending_.erase(bestId);
+    adeliver(m);
+  }
+}
+
+}  // namespace wanmc::amcast

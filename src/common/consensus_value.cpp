@@ -1,0 +1,23 @@
+#include "common/consensus_value.hpp"
+
+namespace wanmc {
+
+std::string valueDebugString(const ConsensusValue& v) {
+  if (std::holds_alternative<std::monostate>(v)) return "<none>";
+  if (const auto* es = std::get_if<A1EntrySet>(&v)) {
+    std::string out = "a1[";
+    for (const auto& e : *es) {
+      out += "m" + std::to_string(e.msg->id) + ":" + stageName(e.stage) +
+             "@" + std::to_string(e.ts) + " ";
+    }
+    return out + "]";
+  }
+  if (const auto* mb = std::get_if<MsgBundle>(&v)) {
+    std::string out = "bundle[";
+    for (const auto& m : *mb) out += "m" + std::to_string(m->id) + " ";
+    return out + "]";
+  }
+  return "ts:" + std::to_string(std::get<uint64_t>(v));
+}
+
+}  // namespace wanmc

@@ -1,0 +1,73 @@
+// Application-level messages and protocol payload plumbing.
+//
+// AppMessage is the unit the agreement protocols order: it corresponds to the
+// paper's message m with fields m.id and m.dest. Protocol-internal packets
+// (consensus rounds, timestamp exchanges, bundles, heartbeats...) derive from
+// Payload and are routed to the owning component by Layer tag.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/ids.hpp"
+
+namespace wanmc {
+
+// Which component of a process stack a packet belongs to. The network layer
+// records per-layer traffic statistics; the genuineness and quiescence
+// verifiers use the tags to reason about protocol-level traffic exactly as
+// the paper does (its accounting treats consensus/reliable multicast as
+// oracle-based substrates; see DESIGN.md §2).
+enum class Layer : uint8_t {
+  kFailureDetector,
+  kConsensus,
+  kReliableMulticast,
+  kProtocol,   // the atomic multicast / broadcast algorithm itself
+  kApp,
+};
+
+[[nodiscard]] constexpr const char* layerName(Layer l) {
+  switch (l) {
+    case Layer::kFailureDetector: return "fd";
+    case Layer::kConsensus: return "consensus";
+    case Layer::kReliableMulticast: return "rmcast";
+    case Layer::kProtocol: return "protocol";
+    case Layer::kApp: return "app";
+  }
+  return "?";
+}
+
+// An application message to be atomically multicast / broadcast.
+// Immutable once created; protocols share it by shared_ptr and keep their
+// mutable per-message state (stage, timestamp) in their own tables, exactly
+// like an implementation over a real network would keep a parsed copy.
+struct AppMessage {
+  MsgId id = 0;             // globally unique, totally ordered tie-breaker
+  ProcessId sender = kNoProcess;
+  GroupSet dest;            // m.dest: the addressed groups
+  std::string body;         // opaque application data
+
+  AppMessage(MsgId i, ProcessId s, GroupSet d, std::string b)
+      : id(i), sender(s), dest(d), body(std::move(b)) {}
+};
+
+using AppMsgPtr = std::shared_ptr<const AppMessage>;
+
+inline AppMsgPtr makeAppMessage(MsgId id, ProcessId sender, GroupSet dest,
+                                std::string body = {}) {
+  return std::make_shared<const AppMessage>(id, sender, dest,
+                                            std::move(body));
+}
+
+// Base class of every packet that crosses the simulated network.
+struct Payload {
+  virtual ~Payload() = default;
+  [[nodiscard]] virtual Layer layer() const = 0;
+  [[nodiscard]] virtual std::string debugString() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+}  // namespace wanmc

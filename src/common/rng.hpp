@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every run of the simulator is a pure function of its seed: latency jitter,
+// crash schedules and workload generation all draw from SplitMix64 streams
+// derived from a single root seed. SplitMix64 is tiny, fast, and passes
+// BigCrush for our purposes (jitter, shuffles); determinism and
+// reproducibility matter more here than statistical perfection.
+#pragma once
+
+#include <cstdint>
+
+namespace wanmc {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [lo, hi] (inclusive). Requires lo <= hi.
+  constexpr int64_t uniform(int64_t lo, int64_t hi) {
+    if (lo >= hi) return lo;
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(next() % span);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Derive an independent stream, e.g. one per subsystem.
+  [[nodiscard]] constexpr SplitMix64 fork(uint64_t salt) const {
+    SplitMix64 child(state_ ^ (0xd1342543de82ef95ULL * (salt + 1)));
+    child.next();
+    return child;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wanmc

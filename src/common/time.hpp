@@ -1,0 +1,15 @@
+// Simulated time, in microseconds since the start of the run.
+#pragma once
+
+#include <cstdint>
+
+namespace wanmc {
+
+using SimTime = int64_t;
+
+inline constexpr SimTime kUs = 1;
+inline constexpr SimTime kMs = 1000;
+inline constexpr SimTime kSec = 1000 * kMs;
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+}  // namespace wanmc

@@ -1,0 +1,162 @@
+// Run traces: everything the verifiers and the benchmark harness need to
+// check the paper's properties and to measure latency degrees.
+//
+// The latency degree (paper §2.3) is defined over a *modified* Lamport
+// clock: only inter-group sends tick the clock. The simulator stamps every
+// A-XCast and A-Deliver event with that clock; Delta(m, R) is then
+//     max_{q in Pi'(m)} ts(A-Deliver(m)_q) - ts(A-XCast(m)_p).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/message.hpp"
+#include "common/time.hpp"
+
+namespace wanmc {
+
+// One A-Deliver (or R-Deliver / optimistic-deliver) event.
+struct DeliveryEvent {
+  ProcessId process = kNoProcess;
+  MsgId msg = 0;
+  uint64_t lamport = 0;   // modified Lamport timestamp of the deliver event
+  SimTime when = 0;       // simulated wall-clock
+  uint64_t order = 0;     // per-process delivery sequence number
+};
+
+// One A-XCast (A-MCast or A-BCast) event.
+struct CastEvent {
+  ProcessId process = kNoProcess;
+  MsgId msg = 0;
+  GroupSet dest;
+  uint64_t lamport = 0;
+  SimTime when = 0;
+};
+
+// One packet on the wire (for message-complexity accounting and for the
+// genuineness / quiescence checkers).
+struct WireEvent {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Layer layer = Layer::kProtocol;
+  bool interGroup = false;
+  SimTime sentAt = 0;
+};
+
+// Aggregated trace of one simulation run.
+struct RunTrace {
+  std::vector<CastEvent> casts;
+  std::vector<DeliveryEvent> deliveries;
+  std::vector<WireEvent> wire;  // populated when Network::recordWire is on
+  std::map<MsgId, GroupSet> destOf;
+  std::map<MsgId, ProcessId> senderOf;
+
+  // Per-process delivery sequences, in delivery order.
+  [[nodiscard]] std::map<ProcessId, std::vector<MsgId>> sequences() const {
+    std::map<ProcessId, std::vector<MsgId>> out;
+    for (const auto& d : deliveries) out[d.process].push_back(d.msg);
+    return out;
+  }
+
+  [[nodiscard]] std::optional<CastEvent> castOf(MsgId id) const {
+    for (const auto& c : casts)
+      if (c.msg == id) return c;
+    return std::nullopt;
+  }
+
+  // Delta(m, R): max over delivering processes of the Lamport distance from
+  // the cast event. Returns nullopt if m was never cast or never delivered.
+  [[nodiscard]] std::optional<int64_t> latencyDegree(MsgId id) const {
+    auto cast = castOf(id);
+    if (!cast) return std::nullopt;
+    std::optional<int64_t> best;
+    for (const auto& d : deliveries) {
+      if (d.msg != id) continue;
+      int64_t delta = static_cast<int64_t>(d.lamport) -
+                      static_cast<int64_t>(cast->lamport);
+      if (!best || delta > *best) best = delta;
+    }
+    return best;
+  }
+
+  // Latency degrees of all cast-and-delivered messages.
+  [[nodiscard]] std::vector<int64_t> allLatencyDegrees() const {
+    std::vector<int64_t> out;
+    for (const auto& c : casts)
+      if (auto d = latencyDegree(c.msg)) out.push_back(*d);
+    return out;
+  }
+
+  // The paper defines the latency degree of an *algorithm* as the minimum
+  // Delta over admissible runs and messages; within one run this is the
+  // minimum over messages.
+  [[nodiscard]] std::optional<int64_t> minLatencyDegree() const {
+    auto all = allLatencyDegrees();
+    if (all.empty()) return std::nullopt;
+    int64_t best = all.front();
+    for (int64_t v : all) best = std::min(best, v);
+    return best;
+  }
+
+  [[nodiscard]] std::optional<int64_t> maxLatencyDegree() const {
+    auto all = allLatencyDegrees();
+    if (all.empty()) return std::nullopt;
+    int64_t best = all.front();
+    for (int64_t v : all) best = std::max(best, v);
+    return best;
+  }
+
+  // Max simulated wall-clock delay between cast and last delivery of m.
+  [[nodiscard]] std::optional<SimTime> wallLatency(MsgId id) const {
+    auto cast = castOf(id);
+    if (!cast) return std::nullopt;
+    std::optional<SimTime> best;
+    for (const auto& d : deliveries) {
+      if (d.msg != id) continue;
+      SimTime delta = d.when - cast->when;
+      if (!best || delta > *best) best = delta;
+    }
+    return best;
+  }
+};
+
+// Per-layer message counters, split intra/inter group.
+struct TrafficStats {
+  struct Counter {
+    uint64_t intra = 0;
+    uint64_t inter = 0;
+    [[nodiscard]] uint64_t total() const { return intra + inter; }
+  };
+  Counter perLayer[5];
+
+  Counter& at(Layer l) { return perLayer[static_cast<int>(l)]; }
+  [[nodiscard]] const Counter& at(Layer l) const {
+    return perLayer[static_cast<int>(l)];
+  }
+
+  [[nodiscard]] uint64_t interTotal() const {
+    uint64_t s = 0;
+    for (const auto& c : perLayer) s += c.inter;
+    return s;
+  }
+  [[nodiscard]] uint64_t intraTotal() const {
+    uint64_t s = 0;
+    for (const auto& c : perLayer) s += c.intra;
+    return s;
+  }
+  // Inter-group messages excluding the failure-detector substrate, which the
+  // paper's accounting treats as an oracle (DESIGN.md §2).
+  [[nodiscard]] uint64_t interAlgorithmic() const {
+    uint64_t s = 0;
+    for (int l = 0; l < 5; ++l)
+      if (static_cast<Layer>(l) != Layer::kFailureDetector)
+        s += perLayer[l].inter;
+    return s;
+  }
+};
+
+}  // namespace wanmc

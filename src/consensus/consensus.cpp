@@ -1,0 +1,356 @@
+#include "consensus/consensus.hpp"
+
+#include <cassert>
+
+namespace wanmc::consensus {
+
+std::string ConsensusPayload::debugString() const {
+  const char* t = "?";
+  switch (type) {
+    case Type::kEstimate: t = "EST"; break;
+    case Type::kPropose: t = "PROP"; break;
+    case Type::kAck: t = "ACK"; break;
+    case Type::kNack: t = "NACK"; break;
+    case Type::kDecide: t = "DEC"; break;
+  }
+  return std::string(t) + "(k=" + std::to_string(instance) +
+         ",r=" + std::to_string(round) + "," + valueDebugString(value) + ")";
+}
+
+namespace {
+
+std::shared_ptr<const ConsensusPayload> makePayload(
+    uint64_t scope, Instance k, uint32_t round, ConsensusPayload::Type type,
+    ConsensusValue value = std::monostate{}, uint32_t estRound = 0) {
+  auto p = std::make_shared<ConsensusPayload>();
+  p->scope = scope;
+  p->instance = k;
+  p->round = round;
+  p->type = type;
+  p->value = std::move(value);
+  p->estRound = estRound;
+  return p;
+}
+
+}  // namespace
+
+// ===========================================================================
+// EarlyConsensus
+// ===========================================================================
+
+EarlyConsensus::EarlyConsensus(sim::Runtime& rt, ProcessId self,
+                               std::vector<ProcessId> members,
+                               fd::FailureDetector* fd, uint64_t scope)
+    : ConsensusService(rt, self, std::move(members), fd, scope) {
+  if (fd_ != nullptr)
+    fd_->onSuspicion([this](ProcessId p) { onSuspicion(p); });
+}
+
+void EarlyConsensus::propose(Instance k, ConsensusValue v) {
+  auto& st = state(k);
+  if (st.joined || st.decidedFlag) return;  // one proposal per instance
+  st.joined = true;
+  st.estimate = std::move(v);
+  st.estRound = 0;
+  enterRound(k, st.round);
+}
+
+void EarlyConsensus::enterRound(Instance k, uint32_t r) {
+  auto& st = state(k);
+  if (st.decidedFlag || !st.joined) return;
+  // Bound the fast-forward: after a full rotation we are our own coordinator
+  // and never suspect ourselves, so this loop always terminates.
+  for (uint32_t round = r;; ++round) {
+    st.round = round;
+    const ProcessId c = coordinator(k, round);
+    if (fd_ != nullptr && c != self_ && fd_->suspects(c)) continue;
+    if (round == 1) {
+      // Early decision: the first-round coordinator broadcasts its own
+      // proposal without collecting estimates. No lock can exist yet, so
+      // this is safe, and it is what buys the two-delay fast path.
+      if (c == self_ && !st.rounds[1].proposalSent) {
+        st.rounds[1].proposalSent = true;
+        broadcast(makePayload(scope_, k, 1, ConsensusPayload::Type::kPropose,
+                              st.estimate, st.estRound));
+      }
+    } else {
+      sendToCoord(k, round,
+                  makePayload(scope_, k, round,
+                              ConsensusPayload::Type::kEstimate, st.estimate,
+                              st.estRound));
+      coordinatorMaybePropose(k, round);  // self-coordinated rounds
+    }
+    break;
+  }
+}
+
+void EarlyConsensus::coordinatorMaybePropose(Instance k, uint32_t r) {
+  if (r <= 1) return;  // round 1 never collects estimates
+  auto& st = state(k);
+  if (st.decidedFlag) return;
+  if (coordinator(k, r) != self_) return;
+  auto& rs = st.rounds[r];
+  if (rs.proposalSent || rs.estimates.size() < majority()) return;
+  // Pick the most recently locked estimate (indulgent locking rule).
+  const Estimate* best = nullptr;
+  ProcessId bestPid = kNoProcess;
+  for (const auto& [pid, est] : rs.estimates) {
+    if (best == nullptr || est.estRound > best->estRound ||
+        (est.estRound == best->estRound && pid < bestPid)) {
+      best = &est;
+      bestPid = pid;
+    }
+  }
+  assert(best != nullptr);
+  rs.proposalSent = true;
+  broadcast(makePayload(scope_, k, r, ConsensusPayload::Type::kPropose,
+                        best->value, r));
+}
+
+void EarlyConsensus::maybeDecideOnAcks(Instance k, uint32_t r) {
+  auto& st = state(k);
+  if (st.decidedFlag) return;
+  auto& rs = st.rounds[r];
+  if (rs.acks.size() < majority()) return;
+  st.decidedFlag = true;
+  // Decide BEFORE relaying: the decide event must not inherit the Lamport
+  // tick of the (possibly inter-group) relay broadcast.
+  const ConsensusValue v = rs.ackedValue;
+  decideLocal(k, v);
+  if (!st.decideRelayed) {
+    st.decideRelayed = true;
+    broadcast(
+        makePayload(scope_, k, r, ConsensusPayload::Type::kDecide, v));
+  }
+}
+
+void EarlyConsensus::onMessage(ProcessId from, const ConsensusPayload& p) {
+  auto& st = state(p.instance);
+  switch (p.type) {
+    case ConsensusPayload::Type::kEstimate: {
+      auto& rs = st.rounds[p.round];
+      rs.estimates[from] = Estimate{p.value, p.estRound};
+      coordinatorMaybePropose(p.instance, p.round);
+      break;
+    }
+    case ConsensusPayload::Type::kPropose: {
+      if (st.decidedFlag || p.round < st.round) return;
+      st.round = p.round;
+      st.joined = true;  // adopting a proposal joins the instance
+      st.estimate = p.value;
+      st.estRound = p.round;
+      auto& rs = st.rounds[p.round];
+      if (!rs.ackSent) {
+        rs.ackSent = true;
+        // Lock-broadcast: every process tells every process it locked v, so
+        // that all members can decide two delays after the proposal.
+        broadcast(makePayload(scope_, p.instance, p.round,
+                              ConsensusPayload::Type::kAck, p.value));
+      }
+      break;
+    }
+    case ConsensusPayload::Type::kAck: {
+      auto& rs = st.rounds[p.round];
+      rs.acks.insert(from);
+      rs.ackedValue = p.value;
+      maybeDecideOnAcks(p.instance, p.round);
+      break;
+    }
+    case ConsensusPayload::Type::kNack:
+      break;  // unused by this protocol
+    case ConsensusPayload::Type::kDecide: {
+      if (!st.decidedFlag) {
+        st.decidedFlag = true;
+        decideLocal(p.instance, p.value);
+        if (!st.decideRelayed) {
+          st.decideRelayed = true;
+          broadcast(makePayload(scope_, p.instance, p.round,
+                                ConsensusPayload::Type::kDecide, p.value));
+        }
+      }
+      break;
+    }
+  }
+}
+
+void EarlyConsensus::onSuspicion(ProcessId p) {
+  // Any undecided instance whose current coordinator just got suspected
+  // moves on to the next round (whether or not we already acked: if the
+  // coordinator crashed mid-broadcast only a minority may have acked, and
+  // everyone must regroup under the next coordinator).
+  for (auto& [k, st] : instances_) {
+    if (st.decidedFlag || !st.joined) continue;
+    if (coordinator(k, st.round) == p) enterRound(k, st.round + 1);
+  }
+}
+
+// ===========================================================================
+// CtConsensus
+// ===========================================================================
+
+CtConsensus::CtConsensus(sim::Runtime& rt, ProcessId self,
+                         std::vector<ProcessId> members,
+                         fd::FailureDetector* fd, uint64_t scope)
+    : ConsensusService(rt, self, std::move(members), fd, scope) {
+  if (fd_ != nullptr)
+    fd_->onSuspicion([this](ProcessId p) { onSuspicion(p); });
+}
+
+void CtConsensus::propose(Instance k, ConsensusValue v) {
+  auto& st = state(k);
+  if (st.joined || st.decidedFlag) return;
+  st.joined = true;
+  st.estimate = std::move(v);
+  st.estRound = 0;
+  startRound(k);
+}
+
+void CtConsensus::startRound(Instance k) {
+  auto& st = state(k);
+  if (st.decidedFlag || !st.joined) return;
+  for (;; ++st.round) {
+    const uint32_t r = st.round;
+    const ProcessId c = coordinator(k, r);
+    st.repliedThisRound = false;
+    // Phase 1: send the current estimate to the round's coordinator.
+    rt_.send(self_, c,
+             makePayload(scope_, k, r, ConsensusPayload::Type::kEstimate,
+                         st.estimate, st.estRound));
+    coordinatorMaybePropose(k, r);
+    // Phase 3 shortcut: if the coordinator is already suspected, nack and
+    // move on. Terminates because we never suspect ourselves.
+    if (fd_ != nullptr && c != self_ && fd_->suspects(c)) {
+      st.repliedThisRound = true;
+      rt_.send(self_, c,
+               makePayload(scope_, k, r, ConsensusPayload::Type::kNack));
+      continue;
+    }
+    break;
+  }
+}
+
+void CtConsensus::coordinatorMaybePropose(Instance k, uint32_t r) {
+  auto& st = state(k);
+  if (st.decidedFlag || coordinator(k, r) != self_) return;
+  auto& rs = st.rounds[r];
+  if (rs.proposalSent || rs.estimates.size() < majority()) return;
+  const std::pair<ConsensusValue, uint32_t>* best = nullptr;
+  ProcessId bestPid = kNoProcess;
+  for (const auto& [pid, est] : rs.estimates) {
+    if (best == nullptr || est.second > best->second ||
+        (est.second == best->second && pid < bestPid)) {
+      best = &est;
+      bestPid = pid;
+    }
+  }
+  rs.proposalSent = true;
+  proposals_[{k, r}] = best->first;
+  broadcast(makePayload(scope_, k, r, ConsensusPayload::Type::kPropose,
+                        best->first, r));
+}
+
+void CtConsensus::coordinatorMaybeConclude(Instance k, uint32_t r) {
+  auto& st = state(k);
+  auto& rs = st.rounds[r];
+  if (rs.concluded || rs.acks.size() + rs.nacks.size() < majority()) return;
+  rs.concluded = true;
+  if (rs.nacks.empty() && !st.decidedFlag) {
+    // All acks: the proposal of round r is locked by a majority — decide.
+    // rs proposal value == current estimate of any acker; the coordinator
+    // proposed it, so it still has it as its own estimate if it acked, but
+    // to be precise we keep the proposed value implicitly via our own
+    // estimate only if we adopted it; store-and-reuse is simpler:
+    st.decidedFlag = true;
+    decideLocal(k, proposalOf(k, r));
+    if (!st.decideRelayed) {
+      st.decideRelayed = true;
+      broadcast(makePayload(scope_, k, r, ConsensusPayload::Type::kDecide,
+                            proposalOf(k, r)));
+    }
+  }
+}
+
+void CtConsensus::onMessage(ProcessId from, const ConsensusPayload& p) {
+  auto& st = state(p.instance);
+  switch (p.type) {
+    case ConsensusPayload::Type::kEstimate: {
+      auto& rs = st.rounds[p.round];
+      rs.estimates[from] = {p.value, p.estRound};
+      coordinatorMaybePropose(p.instance, p.round);
+      break;
+    }
+    case ConsensusPayload::Type::kPropose: {
+      proposals_[{p.instance, p.round}] = p.value;
+      if (st.decidedFlag) return;
+      if (p.round < st.round) return;
+      st.round = p.round;
+      st.joined = true;
+      st.estimate = p.value;
+      st.estRound = p.round;
+      if (!st.repliedThisRound) {
+        st.repliedThisRound = true;
+        rt_.send(self_, from,
+                 makePayload(scope_, p.instance, p.round,
+                             ConsensusPayload::Type::kAck));
+      }
+      // Phase-3 done: pipeline into the next round (classic CT structure).
+      ++st.round;
+      startRound(p.instance);
+      break;
+    }
+    case ConsensusPayload::Type::kAck: {
+      st.rounds[p.round].acks.insert(from);
+      coordinatorMaybeConclude(p.instance, p.round);
+      break;
+    }
+    case ConsensusPayload::Type::kNack: {
+      st.rounds[p.round].nacks.insert(from);
+      coordinatorMaybeConclude(p.instance, p.round);
+      break;
+    }
+    case ConsensusPayload::Type::kDecide: {
+      if (!st.decidedFlag) {
+        st.decidedFlag = true;
+        decideLocal(p.instance, p.value);
+        if (!st.decideRelayed) {
+          st.decideRelayed = true;
+          broadcast(makePayload(scope_, p.instance, p.round,
+                                ConsensusPayload::Type::kDecide, p.value));
+        }
+      }
+      break;
+    }
+  }
+}
+
+void CtConsensus::onSuspicion(ProcessId p) {
+  for (auto& [k, st] : instances_) {
+    if (st.decidedFlag || !st.joined) continue;
+    if (coordinator(k, st.round) == p && !st.repliedThisRound) {
+      st.repliedThisRound = true;
+      rt_.send(self_, p,
+               makePayload(scope_, k, st.round,
+                           ConsensusPayload::Type::kNack));
+      ++st.round;
+      startRound(k);
+    }
+  }
+}
+
+// ===========================================================================
+
+std::unique_ptr<ConsensusService> makeConsensus(
+    ConsensusKind kind, sim::Runtime& rt, ProcessId self,
+    std::vector<ProcessId> members, fd::FailureDetector* fd, uint64_t scope) {
+  switch (kind) {
+    case ConsensusKind::kEarly:
+      return std::make_unique<EarlyConsensus>(rt, self, std::move(members),
+                                              fd, scope);
+    case ConsensusKind::kCt:
+      return std::make_unique<CtConsensus>(rt, self, std::move(members), fd,
+                                           scope);
+  }
+  return nullptr;
+}
+
+}  // namespace wanmc::consensus

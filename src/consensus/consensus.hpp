@@ -1,0 +1,216 @@
+// Uniform consensus, instance-numbered: Propose(k, v) / Decide(k, v).
+//
+// The paper assumes consensus is solvable inside every group (§2.1) and its
+// Figure-1 accounting uses Schiper's early consensus [11]: latency degree 2
+// and 2kd(kd-1) messages when run across k groups of d processes. We provide
+// two implementations behind one interface:
+//
+//  * EarlyConsensus — rotating-coordinator, early-deciding: in the first
+//    round the coordinator broadcasts its own proposal without collecting
+//    estimates, everyone lock-broadcasts an ACK, and a process decides on a
+//    majority of ACKs: two message delays in the failure-free case, matching
+//    [11]'s latency degree of 2. Later rounds collect estimates and pick the
+//    most recently locked one (classic indulgent locking), so uniform
+//    agreement holds under f < n/2 crashes and arbitrary suspicion noise.
+//  * CtConsensus — the textbook Chandra–Toueg <>S protocol (estimate /
+//    propose / ack-nack / decide), four delays, kept as an independent
+//    implementation to cross-validate protocol behaviour in tests.
+//
+// Both run over whatever member set they are given. The atomic multicast /
+// broadcast algorithms instantiate them per group (intra-group traffic only,
+// hence latency-degree contribution 0); the Rodrigues-et-al. baseline
+// instantiates them across groups, where the 2 inter-group delays and the
+// O((kd)^2) messages show up exactly as in Figure 1a.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/consensus_value.hpp"
+#include "common/ids.hpp"
+#include "common/message.hpp"
+#include "fd/failure_detector.hpp"
+#include "sim/runtime.hpp"
+
+namespace wanmc::consensus {
+
+using Instance = uint64_t;
+
+struct ConsensusPayload final : Payload {
+  enum class Type : uint8_t { kEstimate, kPropose, kAck, kNack, kDecide };
+
+  uint64_t scope = 0;  // which service on the node this packet belongs to
+  Instance instance = 0;
+  uint32_t round = 0;
+  Type type = Type::kEstimate;
+  ConsensusValue value;
+  uint32_t estRound = 0;  // round in which `value` was last locked
+
+  [[nodiscard]] Layer layer() const override { return Layer::kConsensus; }
+  [[nodiscard]] std::string debugString() const override;
+};
+
+class ConsensusService {
+ public:
+  using DecideCb = std::function<void(Instance, const ConsensusValue&)>;
+
+  ConsensusService(sim::Runtime& rt, ProcessId self,
+                   std::vector<ProcessId> members, fd::FailureDetector* fd,
+                   uint64_t scope)
+      : rt_(rt),
+        self_(self),
+        members_(std::move(members)),
+        fd_(fd),
+        scope_(scope) {}
+  virtual ~ConsensusService() = default;
+
+  ConsensusService(const ConsensusService&) = delete;
+  ConsensusService& operator=(const ConsensusService&) = delete;
+
+  virtual void propose(Instance k, ConsensusValue v) = 0;
+  virtual void onMessage(ProcessId from, const ConsensusPayload& p) = 0;
+
+  void onDecide(DecideCb cb) { decideCbs_.push_back(std::move(cb)); }
+  [[nodiscard]] uint64_t scope() const { return scope_; }
+  [[nodiscard]] const std::vector<ProcessId>& members() const {
+    return members_;
+  }
+  [[nodiscard]] bool decided(Instance k) const {
+    return decided_.count(k) > 0;
+  }
+  [[nodiscard]] const ConsensusValue& decision(Instance k) const {
+    return decided_.at(k);
+  }
+
+ protected:
+  [[nodiscard]] size_t majority() const { return members_.size() / 2 + 1; }
+  [[nodiscard]] ProcessId coordinator(Instance k, uint32_t round) const {
+    return members_[(k + round - 1) % members_.size()];
+  }
+  void broadcast(const std::shared_ptr<const ConsensusPayload>& p) {
+    rt_.multicast(self_, members_, p);  // one send event (paper §2.3)
+  }
+  void decideLocal(Instance k, const ConsensusValue& v) {
+    if (decided_.count(k)) return;
+    decided_[k] = v;
+    for (const auto& cb : decideCbs_) cb(k, v);
+  }
+
+  sim::Runtime& rt_;
+  ProcessId self_;
+  std::vector<ProcessId> members_;
+  fd::FailureDetector* fd_;
+  uint64_t scope_;
+  std::map<Instance, ConsensusValue> decided_;
+
+ private:
+  std::vector<DecideCb> decideCbs_;
+};
+
+// ---------------------------------------------------------------------------
+// Early-deciding rotating-coordinator consensus (default).
+// ---------------------------------------------------------------------------
+class EarlyConsensus final : public ConsensusService {
+ public:
+  EarlyConsensus(sim::Runtime& rt, ProcessId self,
+                 std::vector<ProcessId> members, fd::FailureDetector* fd,
+                 uint64_t scope);
+
+  void propose(Instance k, ConsensusValue v) override;
+  void onMessage(ProcessId from, const ConsensusPayload& p) override;
+
+ private:
+  struct Estimate {
+    ConsensusValue value;
+    uint32_t estRound = 0;
+  };
+  struct RoundState {
+    std::map<ProcessId, Estimate> estimates;  // collected by the coordinator
+    std::set<ProcessId> acks;
+    ConsensusValue ackedValue;  // the value the round's ACKs carry
+    bool proposalSent = false;
+    bool ackSent = false;
+  };
+  struct InstanceState {
+    bool joined = false;     // proposed locally or adopted a proposal
+    bool decidedFlag = false;
+    bool decideRelayed = false;
+    ConsensusValue estimate;
+    uint32_t estRound = 0;
+    uint32_t round = 1;      // current round as a participant
+    std::map<uint32_t, RoundState> rounds;
+  };
+
+  InstanceState& state(Instance k) { return instances_[k]; }
+
+  void enterRound(Instance k, uint32_t r);
+  void coordinatorMaybePropose(Instance k, uint32_t r);
+  void maybeDecideOnAcks(Instance k, uint32_t r);
+  void onSuspicion(ProcessId p);
+  void sendToCoord(Instance k, uint32_t r,
+                   const std::shared_ptr<const ConsensusPayload>& p) {
+    rt_.send(self_, coordinator(k, r), p);
+  }
+
+  std::map<Instance, InstanceState> instances_;
+};
+
+// ---------------------------------------------------------------------------
+// Classic Chandra-Toueg <>S consensus (four phases per round).
+// ---------------------------------------------------------------------------
+class CtConsensus final : public ConsensusService {
+ public:
+  CtConsensus(sim::Runtime& rt, ProcessId self,
+              std::vector<ProcessId> members, fd::FailureDetector* fd,
+              uint64_t scope);
+
+  void propose(Instance k, ConsensusValue v) override;
+  void onMessage(ProcessId from, const ConsensusPayload& p) override;
+
+ private:
+  struct RoundState {
+    std::map<ProcessId, std::pair<ConsensusValue, uint32_t>> estimates;
+    std::set<ProcessId> acks;
+    std::set<ProcessId> nacks;
+    bool proposalSent = false;
+    bool concluded = false;  // coordinator finished phase 4 for this round
+  };
+  struct InstanceState {
+    bool joined = false;
+    bool decidedFlag = false;
+    bool decideRelayed = false;
+    ConsensusValue estimate;
+    uint32_t estRound = 0;
+    uint32_t round = 1;
+    bool repliedThisRound = false;  // sent ack or nack for `round`
+    std::map<uint32_t, RoundState> rounds;
+  };
+
+  InstanceState& state(Instance k) { return instances_[k]; }
+
+  void startRound(Instance k);
+  void coordinatorMaybePropose(Instance k, uint32_t r);
+  void coordinatorMaybeConclude(Instance k, uint32_t r);
+  void onSuspicion(ProcessId p);
+  [[nodiscard]] const ConsensusValue& proposalOf(Instance k, uint32_t r) {
+    return proposals_[{k, r}];
+  }
+
+  std::map<Instance, InstanceState> instances_;
+  // Proposal broadcast in (instance, round), remembered by every process so
+  // the coordinator can decide it in phase 4.
+  std::map<std::pair<Instance, uint32_t>, ConsensusValue> proposals_;
+};
+
+enum class ConsensusKind { kEarly, kCt };
+
+std::unique_ptr<ConsensusService> makeConsensus(
+    ConsensusKind kind, sim::Runtime& rt, ProcessId self,
+    std::vector<ProcessId> members, fd::FailureDetector* fd, uint64_t scope);
+
+}  // namespace wanmc::consensus

@@ -1,0 +1,139 @@
+// The library's top-level API: configure a WAN, pick a protocol, drive a
+// workload, get back a fully instrumented run.
+//
+//   core::RunConfig cfg;
+//   cfg.groups = 3; cfg.procsPerGroup = 2; cfg.protocol = ProtocolKind::kA1;
+//   core::Experiment ex(cfg);
+//   ex.castAt(5 * kMs, /*sender=*/0, GroupSet::of({0, 1}), "hello");
+//   core::RunResult r = ex.run(10 * kSec);
+//   r.trace.latencyDegree(...); r.checkAtomicSuite(); ...
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "abcast/a2_node.hpp"
+#include "abcast/merge_node.hpp"
+#include "common/ids.hpp"
+#include "common/message.hpp"
+#include "common/trace.hpp"
+#include "core/stack_node.hpp"
+#include "sim/runtime.hpp"
+#include "verify/properties.hpp"
+
+namespace wanmc::core {
+
+enum class ProtocolKind {
+  // Atomic multicast (genuine unless noted).
+  kA1,             // this paper, §4 — latency degree 2 (optimal)
+  kFritzke98,      // [5]: A1 without stage skipping, uniform reliable mcast
+  kDelporte00,     // [4]: per-group ring — latency degree k+1
+  kRodrigues98,    // [10]: cross-group consensus — latency degree 4
+  kViaBcast,       // non-genuine reduction to A2 — latency degree 1
+  kSkeen87,        // [2]: Skeen's original (failure-free) — degree 2
+  // Atomic broadcast.
+  kA2,             // this paper, §5 — latency degree 1 (optimal)
+  kSousa02,        // [12]: optimistic, non-uniform — final delivery degree 2
+  kVicente02,      // [13]: uniform sequencer + echo — degree 2, O(n^2)
+  kDetMerge00,     // [1]: deterministic merge — degree 1, strong model
+};
+
+[[nodiscard]] const char* protocolName(ProtocolKind k);
+[[nodiscard]] bool isBroadcastProtocol(ProtocolKind k);
+
+struct RunConfig {
+  int groups = 2;
+  int procsPerGroup = 2;
+  // Non-empty overrides groups/procsPerGroup with a ragged layout:
+  // groupSizes[g] processes in group g.
+  std::vector<int> groupSizes{};
+  sim::LatencyModel latency{};
+  uint64_t seed = 1;
+  ProtocolKind protocol = ProtocolKind::kA1;
+  StackConfig stack{};
+  abcast::A2Options a2{};        // kA2 / kViaBcast only
+  abcast::MergeOptions merge{};  // kDetMerge00 only
+  bool recordWire = false;
+};
+
+struct CrashPlan {
+  ProcessId pid = kNoProcess;
+  SimTime when = 0;
+};
+
+struct RunResult {
+  Topology topo;
+  RunTrace trace;
+  TrafficStats traffic;
+  SimTime lastAlgoSend = -1;
+  SimTime endTime = 0;
+  std::set<ProcessId> correct;
+  verify::GenuinenessInput genuineness;
+
+  [[nodiscard]] verify::CheckContext checkContext() const {
+    return verify::CheckContext{&trace, &topo, correct};
+  }
+  [[nodiscard]] verify::Violations checkAtomicSuite() const {
+    return verify::checkAtomicSuite(checkContext());
+  }
+};
+
+class Experiment {
+ public:
+  explicit Experiment(RunConfig cfg);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  [[nodiscard]] sim::Runtime& runtime() { return *rt_; }
+  [[nodiscard]] XcastNode& node(ProcessId pid);
+  [[nodiscard]] const RunConfig& config() const { return cfg_; }
+
+  // Schedule an A-XCast of a fresh message at simulated time `when`.
+  // Returns the message id. For broadcast protocols pass the full group set
+  // (or use castAllAt).
+  MsgId castAt(SimTime when, ProcessId sender, GroupSet dest,
+               std::string body = {});
+  MsgId castAllAt(SimTime when, ProcessId sender, std::string body = {});
+
+  void crashAt(ProcessId pid, SimTime when);
+
+  // Run the simulation until `until` (or exhaustion) and harvest results.
+  RunResult run(SimTime until = 300 * kSec);
+
+  // Continue a run (e.g. cast more, run again) — results are cumulative.
+  RunResult runMore(SimTime until);
+
+ private:
+  RunResult harvest() const;
+
+  RunConfig cfg_;
+  std::unique_ptr<sim::Runtime> rt_;
+  std::vector<XcastNode*> nodes_;
+  std::set<ProcessId> crashPlanned_;
+  MsgId nextMsgId_ = 1;
+  bool started_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Workload helpers.
+// ---------------------------------------------------------------------------
+
+struct WorkloadSpec {
+  SimTime start = 10 * kMs;
+  SimTime interval = 50 * kMs;  // time between consecutive casts
+  int count = 20;
+  int destGroups = 2;           // groups per multicast (clamped to #groups)
+  uint64_t seed = 7;
+};
+
+// Schedules `spec.count` casts with rotating senders and pseudo-random
+// destination sets of `spec.destGroups` groups (always including the
+// sender's group). Returns the message ids.
+std::vector<MsgId> scheduleWorkload(Experiment& ex, const WorkloadSpec& spec);
+
+}  // namespace wanmc::core

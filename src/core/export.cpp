@@ -1,0 +1,100 @@
+#include "core/export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace wanmc::core {
+
+namespace {
+
+std::string destString(const GroupSet& s) {
+  std::string out;
+  for (GroupId g : s.groups()) {
+    if (!out.empty()) out += "|";
+    out += std::to_string(g);
+  }
+  return out;
+}
+
+}  // namespace
+
+void writeDeliveriesCsv(const RunResult& r, std::ostream& os) {
+  os << "process,group,msg,sender,destGroups,lamport,simTimeUs,order\n";
+  for (const auto& d : r.trace.deliveries) {
+    const auto destIt = r.trace.destOf.find(d.msg);
+    const auto senderIt = r.trace.senderOf.find(d.msg);
+    os << d.process << ',' << r.topo.group(d.process) << ',' << d.msg << ','
+       << (senderIt != r.trace.senderOf.end() ? senderIt->second : -1) << ','
+       << (destIt != r.trace.destOf.end() ? destString(destIt->second)
+                                          : std::string())
+       << ',' << d.lamport << ',' << d.when << ',' << d.order << '\n';
+  }
+}
+
+void writeMessagesCsv(const RunResult& r, std::ostream& os) {
+  os << "msg,sender,destGroups,castUs,lamport,latencyDegree,wallLatencyUs\n";
+  for (const auto& c : r.trace.casts) {
+    const auto deg = r.trace.latencyDegree(c.msg);
+    const auto wall = r.trace.wallLatency(c.msg);
+    os << c.msg << ',' << c.process << ',' << destString(c.dest) << ','
+       << c.when << ',' << c.lamport << ','
+       << (deg ? std::to_string(*deg) : std::string("-")) << ','
+       << (wall ? std::to_string(*wall) : std::string("-")) << '\n';
+  }
+}
+
+void writeSummaryJson(const RunResult& r, std::ostream& os) {
+  // Latency-degree histogram.
+  std::map<int64_t, int> degHist;
+  std::vector<SimTime> walls;
+  for (const auto& c : r.trace.casts) {
+    if (auto deg = r.trace.latencyDegree(c.msg)) ++degHist[*deg];
+    if (auto wall = r.trace.wallLatency(c.msg)) walls.push_back(*wall);
+  }
+  std::sort(walls.begin(), walls.end());
+  auto pct = [&](double q) -> SimTime {
+    if (walls.empty()) return 0;
+    const auto idx = static_cast<size_t>(
+        q * static_cast<double>(walls.size() - 1) + 0.5);
+    return walls[std::min(idx, walls.size() - 1)];
+  };
+
+  const auto violations = r.checkAtomicSuite();
+
+  os << "{\n";
+  os << "  \"processes\": " << r.topo.numProcesses() << ",\n";
+  os << "  \"groups\": " << r.topo.numGroups() << ",\n";
+  os << "  \"casts\": " << r.trace.casts.size() << ",\n";
+  os << "  \"deliveries\": " << r.trace.deliveries.size() << ",\n";
+  os << "  \"traffic\": {\n";
+  for (int l = 0; l < 5; ++l) {
+    const auto layer = static_cast<Layer>(l);
+    os << "    \"" << layerName(layer) << "\": {\"intra\": "
+       << r.traffic.at(layer).intra << ", \"inter\": "
+       << r.traffic.at(layer).inter << "}" << (l + 1 < 5 ? "," : "") << "\n";
+  }
+  os << "  },\n";
+  os << "  \"latencyDegreeHistogram\": {";
+  bool firstH = true;
+  for (const auto& [deg, n] : degHist) {
+    if (!firstH) os << ", ";
+    os << "\"" << deg << "\": " << n;
+    firstH = false;
+  }
+  os << "},\n";
+  os << "  \"wallLatencyUs\": {\"p50\": " << pct(0.5) << ", \"p90\": "
+     << pct(0.9) << ", \"max\": " << (walls.empty() ? 0 : walls.back())
+     << "},\n";
+  os << "  \"lastAlgorithmicSendUs\": " << r.lastAlgoSend << ",\n";
+  os << "  \"correctProcesses\": " << r.correct.size() << ",\n";
+  os << "  \"safetyViolations\": [";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << violations[i] << "\"";
+  }
+  os << "]\n";
+  os << "}\n";
+}
+
+}  // namespace wanmc::core

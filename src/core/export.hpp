@@ -1,0 +1,24 @@
+// Trace and statistics export: CSV for delivery traces, JSON for run
+// summaries. Used by the CLI tool and handy for plotting bench output.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace wanmc::core {
+
+// One row per A-Deliver event:
+//   process,group,msg,sender,destGroups,lamport,simTimeUs,order
+void writeDeliveriesCsv(const RunResult& r, std::ostream& os);
+
+// One row per cast message:
+//   msg,sender,destGroups,castUs,lamport,latencyDegree,wallLatencyUs
+void writeMessagesCsv(const RunResult& r, std::ostream& os);
+
+// A JSON object with the run's aggregates: traffic per layer, latency-degree
+// histogram, wall-latency stats, quiescence info, safety-check results.
+void writeSummaryJson(const RunResult& r, std::ostream& os);
+
+}  // namespace wanmc::core

@@ -1,0 +1,160 @@
+// StackNode: a simulated process hosting a full protocol stack.
+//
+// Each process runs (bottom-up): a failure detector, one or more consensus
+// services (usually one, scoped to the process's group), a reliable
+// multicast endpoint, and the atomic multicast / broadcast algorithm.
+// StackNode routes incoming packets to the right component by Layer tag and
+// consensus scope, mirroring the modular structure of the paper's proofs.
+#pragma once
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/message.hpp"
+#include "consensus/consensus.hpp"
+#include "fd/failure_detector.hpp"
+#include "rmcast/rmcast.hpp"
+#include "sim/runtime.hpp"
+
+namespace wanmc::core {
+
+// How a protocol stack should be parameterized. One StackConfig is shared by
+// every node of a run.
+struct StackConfig {
+  fd::FdKind fdKind = fd::FdKind::kOracle;
+  SimTime fdOracleDelay = 50 * kMs;
+  fd::HeartbeatFd::Params fdHeartbeat{};
+  consensus::ConsensusKind consensusKind = consensus::ConsensusKind::kEarly;
+  rmcast::RelayPolicy rmRelay = rmcast::RelayPolicy::kIntraOnly;
+  rmcast::Uniformity rmUniformity = rmcast::Uniformity::kNonUniform;
+};
+
+class StackNode : public sim::Node {
+ public:
+  StackNode(sim::Runtime& rt, ProcessId pid, const StackConfig& cfg)
+      : sim::Node(rt, pid), cfg_(cfg) {
+    // The failure detector's scope is the own group: that is where consensus
+    // runs and the only place suspicion matters for the core algorithms.
+    // (Stacks that run consensus across groups widen the scope themselves.)
+    fd_ = fd::makeFd(cfg.fdKind, rt, pid, rt.topology().members(gid()),
+                     cfg.fdOracleDelay, cfg.fdHeartbeat);
+    rm_ = std::make_unique<rmcast::ReliableMulticast>(
+        rt, pid, cfg.rmRelay, cfg.rmUniformity);
+  }
+
+  void onStart() override {
+    fd_->start();
+    startProtocol();
+  }
+
+  void onMessage(ProcessId from, const PayloadPtr& payload) override {
+    switch (payload->layer()) {
+      case Layer::kFailureDetector:
+        fd_->onMessage(from, *payload);
+        break;
+      case Layer::kConsensus: {
+        const auto& cp =
+            static_cast<const consensus::ConsensusPayload&>(*payload);
+        auto it = consensusByScope_.find(cp.scope);
+        if (it == consensusByScope_.end()) {
+          consensus::ConsensusService* svc = onUnknownConsensusScope(from, cp);
+          if (svc == nullptr) return;  // not a participant of that scope
+          svc->onMessage(from, cp);
+        } else {
+          it->second->onMessage(from, cp);
+        }
+        break;
+      }
+      case Layer::kReliableMulticast:
+        rm_->onMessage(from, static_cast<const rmcast::RmPayload&>(*payload));
+        break;
+      case Layer::kProtocol:
+      case Layer::kApp:
+        onProtocolMessage(from, payload);
+        break;
+    }
+  }
+
+ protected:
+  // Creates a consensus service over `members` under scope id `scope`.
+  consensus::ConsensusService& addConsensus(uint64_t scope,
+                                            std::vector<ProcessId> members) {
+    auto svc = consensus::makeConsensus(cfg_.consensusKind, runtime(), pid(),
+                                        std::move(members), fd_.get(), scope);
+    auto* raw = svc.get();
+    consensusByScope_[scope] = raw;
+    ownedConsensus_.push_back(std::move(svc));
+    return *raw;
+  }
+
+  // Convention: the per-group consensus service uses the group id as scope.
+  consensus::ConsensusService& addGroupConsensus() {
+    return addConsensus(static_cast<uint64_t>(gid()),
+                        runtime().topology().members(gid()));
+  }
+
+  [[nodiscard]] consensus::ConsensusService* findConsensus(uint64_t scope) {
+    auto it = consensusByScope_.find(scope);
+    return it == consensusByScope_.end() ? nullptr : it->second;
+  }
+
+  // Hook for stacks that create consensus services dynamically (e.g. the
+  // Rodrigues baseline runs one consensus per message, across groups).
+  virtual consensus::ConsensusService* onUnknownConsensusScope(
+      ProcessId /*from*/, const consensus::ConsensusPayload&) {
+    return nullptr;
+  }
+
+  virtual void startProtocol() {}
+  virtual void onProtocolMessage(ProcessId from, const PayloadPtr& p) = 0;
+
+  [[nodiscard]] rmcast::ReliableMulticast& rm() { return *rm_; }
+  [[nodiscard]] fd::FailureDetector& fd() { return *fd_; }
+  [[nodiscard]] const fd::FailureDetector& fd() const { return *fd_; }
+  [[nodiscard]] const StackConfig& config() const { return cfg_; }
+
+ private:
+  StackConfig cfg_;
+  std::unique_ptr<fd::FailureDetector> fd_;
+  std::unique_ptr<rmcast::ReliableMulticast> rm_;
+  std::map<uint64_t, consensus::ConsensusService*> consensusByScope_;
+  std::vector<std::unique_ptr<consensus::ConsensusService>> ownedConsensus_;
+};
+
+// Base class of every atomic multicast / broadcast protocol node: exposes
+// the A-XCast entry point and the A-Deliver callback, and records both
+// events against the modified Lamport clock for latency-degree measurement.
+class XcastNode : public StackNode {
+ public:
+  using DeliverCb = std::function<void(const AppMsgPtr&)>;
+
+  using StackNode::StackNode;
+
+  // A-MCast / A-BCast m from this process.
+  virtual void xcast(const AppMsgPtr& m) = 0;
+
+  void onADeliver(DeliverCb cb) { deliverCbs_.push_back(std::move(cb)); }
+
+  [[nodiscard]] const std::vector<AppMsgPtr>& delivered() const {
+    return deliveredList_;
+  }
+
+ protected:
+  // Called by subclasses at the A-XCast event (before any sends).
+  void recordXcast(const AppMsgPtr& m) { runtime().recordCast(pid(), m); }
+
+  // Called by subclasses at the A-Deliver event.
+  void adeliver(const AppMsgPtr& m) {
+    runtime().recordDelivery(pid(), m->id);
+    deliveredList_.push_back(m);
+    for (const auto& cb : deliverCbs_) cb(m);
+  }
+
+ private:
+  std::vector<DeliverCb> deliverCbs_;
+  std::vector<AppMsgPtr> deliveredList_;
+};
+
+}  // namespace wanmc::core

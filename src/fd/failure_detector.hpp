@@ -1,0 +1,170 @@
+// Failure detectors.
+//
+// The paper assumes consensus is solvable inside every group, which in the
+// asynchronous crash-stop model means each group is equipped with (at least)
+// an eventually-strong failure detector <>S and a majority of correct
+// processes. We provide two interchangeable implementations:
+//
+//  * OracleFd — a zero-message oracle that learns crashes from the runtime
+//    after a configurable detection delay. This matches the paper's
+//    accounting, which treats the substrate algorithms as "oracle-based"
+//    ([6], [11]) and charges them no background traffic; it keeps the
+//    genuineness and quiescence measurements clean.
+//  * HeartbeatFd — a real heartbeat/timeout detector exchanging
+//    Layer::kFailureDetector packets within its scope. With a timeout above
+//    the maximum link latency it behaves like <>P; transient timeouts only
+//    make it eventually strong, which the indulgent consensus tolerates.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/message.hpp"
+#include "common/time.hpp"
+#include "sim/runtime.hpp"
+
+namespace wanmc::fd {
+
+class FailureDetector {
+ public:
+  using SuspicionCb = std::function<void(ProcessId)>;
+
+  virtual ~FailureDetector() = default;
+
+  [[nodiscard]] virtual bool suspects(ProcessId p) const = 0;
+
+  // Fired when a process becomes suspected. (Un-suspicion is not signalled;
+  // the consensus layer re-reads suspects() when it matters.)
+  void onSuspicion(SuspicionCb cb) { callbacks_.push_back(std::move(cb)); }
+
+  virtual void start() {}
+  virtual void onMessage(ProcessId /*from*/, const Payload& /*payload*/) {}
+
+ protected:
+  void notify(ProcessId p) {
+    for (const auto& cb : callbacks_) cb(p);
+  }
+
+ private:
+  std::vector<SuspicionCb> callbacks_;
+};
+
+// ---------------------------------------------------------------------------
+
+class OracleFd final : public FailureDetector {
+ public:
+  // `detectionDelay` models the time between a crash and its detection.
+  OracleFd(sim::Runtime& rt, ProcessId self, SimTime detectionDelay = 0)
+      : rt_(rt), self_(self), delay_(detectionDelay) {
+    rt_.addCrashListener([this](ProcessId p) {
+      if (p == self_ || rt_.crashed(self_)) return;
+      if (delay_ == 0) {
+        suspected_.insert(p);
+        notify(p);
+      } else {
+        rt_.timer(self_, delay_, [this, p]() {
+          suspected_.insert(p);
+          notify(p);
+        });
+      }
+    });
+  }
+
+  [[nodiscard]] bool suspects(ProcessId p) const override {
+    return suspected_.count(p) > 0;
+  }
+
+ private:
+  sim::Runtime& rt_;
+  ProcessId self_;
+  SimTime delay_;
+  std::set<ProcessId> suspected_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct HeartbeatPayload final : Payload {
+  uint64_t seq = 0;
+  explicit HeartbeatPayload(uint64_t s) : seq(s) {}
+  [[nodiscard]] Layer layer() const override {
+    return Layer::kFailureDetector;
+  }
+  [[nodiscard]] std::string debugString() const override {
+    return "hb(" + std::to_string(seq) + ")";
+  }
+};
+
+class HeartbeatFd final : public FailureDetector {
+ public:
+  struct Params {
+    SimTime interval = 20 * kMs;
+    SimTime timeout = 80 * kMs;  // must exceed interval + max link latency
+  };
+
+  // `scope` is the set of processes this detector monitors (and heartbeats).
+  HeartbeatFd(sim::Runtime& rt, ProcessId self, std::vector<ProcessId> scope,
+              Params params)
+      : rt_(rt), self_(self), scope_(std::move(scope)), params_(params) {
+    for (ProcessId p : scope_) lastHeard_[p] = 0;
+  }
+
+  void start() override {
+    // Start-of-run grace: everyone counts as heard at t=0.
+    for (ProcessId p : scope_) lastHeard_[p] = rt_.now();
+    tick();
+  }
+
+  void onMessage(ProcessId from, const Payload& payload) override {
+    if (payload.layer() != Layer::kFailureDetector) return;
+    lastHeard_[from] = rt_.now();
+    if (suspected_.erase(from) > 0) {
+      // eventual accuracy: a prematurely suspected process is rehabilitated
+    }
+  }
+
+  [[nodiscard]] bool suspects(ProcessId p) const override {
+    return suspected_.count(p) > 0;
+  }
+
+ private:
+  void tick() {
+    auto hb = std::make_shared<const HeartbeatPayload>(seq_++);
+    std::vector<ProcessId> others;
+    for (ProcessId p : scope_)
+      if (p != self_) others.push_back(p);
+    rt_.multicast(self_, others, hb);
+    const SimTime now = rt_.now();
+    for (ProcessId p : scope_) {
+      if (p == self_ || suspected_.count(p)) continue;
+      if (now - lastHeard_[p] > params_.timeout) {
+        suspected_.insert(p);
+        notify(p);
+      }
+    }
+    rt_.timer(self_, params_.interval, [this]() { tick(); });
+  }
+
+  sim::Runtime& rt_;
+  ProcessId self_;
+  std::vector<ProcessId> scope_;
+  Params params_;
+  uint64_t seq_ = 0;
+  std::map<ProcessId, SimTime> lastHeard_;
+  std::set<ProcessId> suspected_;
+};
+
+// Which detector a protocol stack should instantiate.
+enum class FdKind { kOracle, kHeartbeat };
+
+std::unique_ptr<FailureDetector> makeFd(FdKind kind, sim::Runtime& rt,
+                                        ProcessId self,
+                                        std::vector<ProcessId> scope,
+                                        SimTime oracleDelay = 0,
+                                        HeartbeatFd::Params hb = {});
+
+}  // namespace wanmc::fd

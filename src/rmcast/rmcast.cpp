@@ -1,0 +1,97 @@
+#include "rmcast/rmcast.hpp"
+
+#include <algorithm>
+
+namespace wanmc::rmcast {
+
+namespace {
+
+std::vector<ProcessId> allBut(const std::vector<ProcessId>& v,
+                              ProcessId self) {
+  std::vector<ProcessId> out;
+  out.reserve(v.size());
+  for (ProcessId q : v)
+    if (q != self) out.push_back(q);
+  return out;
+}
+
+}  // namespace
+
+void ReliableMulticast::rmcast(const AppMsgPtr& m) {
+  auto dests = destsOf(*m);
+  auto payload = std::make_shared<const RmPayload>(m, /*relay=*/false);
+  rt_.multicast(self_, allBut(dests, self_), payload);
+  // The sender itself sees the message immediately (and R-Delivers it at
+  // once if it is an addressee).
+  firstSight(m, self_, dests, /*explicitScope=*/false);
+}
+
+void ReliableMulticast::rmcastTo(const AppMsgPtr& m,
+                                 const std::vector<ProcessId>& dests) {
+  auto payload = std::make_shared<const RmPayload>(m, /*relay=*/false, dests);
+  rt_.multicast(self_, allBut(dests, self_), payload);
+  firstSight(m, self_, dests, /*explicitScope=*/true);
+}
+
+void ReliableMulticast::onMessage(ProcessId from, const RmPayload& p) {
+  if (p.explicitDests.empty()) {
+    firstSight(p.msg, from, destsOf(*p.msg), /*explicitScope=*/false);
+  } else {
+    firstSight(p.msg, from, p.explicitDests, /*explicitScope=*/true);
+  }
+}
+
+void ReliableMulticast::firstSight(const AppMsgPtr& m, ProcessId copyFrom,
+                                   const std::vector<ProcessId>& dests,
+                                   bool explicitScope) {
+  auto& s = seen_[m->id];
+  if (s.msg == nullptr) {
+    s.msg = m;
+    s.dests = dests;
+    s.explicitScope = explicitScope;
+  }
+  if (rt_.topology().sameGroup(copyFrom, self_)) s.copiesFrom.insert(copyFrom);
+
+  if (!s.relayed) {
+    s.relayed = true;
+    auto relay = std::make_shared<const RmPayload>(
+        m, /*relay=*/true,
+        s.explicitScope ? s.dests : std::vector<ProcessId>{});
+    const GroupId myGroup = rt_.topology().group(self_);
+    std::vector<ProcessId> tos;
+    for (ProcessId q : s.dests) {
+      if (q == self_) continue;
+      const bool sameGroup = rt_.topology().group(q) == myGroup;
+      if (relay_ == RelayPolicy::kEager || sameGroup) tos.push_back(q);
+    }
+    rt_.multicast(self_, tos, relay);
+  }
+  maybeDeliver(m->id);
+}
+
+void ReliableMulticast::maybeDeliver(MsgId id) {
+  if (delivered_.count(id)) return;
+  auto& s = seen_[id];
+  // Uniform integrity: only addressees R-Deliver. (Non-addressees can still
+  // see the message, e.g. a sender that multicasts outside its own group.)
+  if (s.explicitScope) {
+    if (std::find(s.dests.begin(), s.dests.end(), self_) == s.dests.end())
+      return;
+  } else if (!s.msg->dest.contains(rt_.topology().group(self_))) {
+    return;
+  }
+
+  if (uniformity_ == Uniformity::kUniform) {
+    const auto groupSize = static_cast<size_t>(
+        rt_.topology().groupSize(rt_.topology().group(self_)));
+    const size_t need = groupSize / 2 + 1;
+    // Our own sighting counts as one copy.
+    auto copies = s.copiesFrom;
+    copies.insert(self_);
+    if (copies.size() < need) return;
+  }
+  delivered_.insert(id);
+  for (const auto& cb : deliverCbs_) cb(s.msg);
+}
+
+}  // namespace wanmc::rmcast

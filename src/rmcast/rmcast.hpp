@@ -1,0 +1,116 @@
+// Reliable multicast: R-MCast / R-Deliver (paper §2.2).
+//
+// Non-uniform reliable multicast is the substrate A1 and A2 are built on.
+// The paper's accounting (Figure 1) charges the [6]-style oracle-based
+// primitive d(k-1) inter-group messages and latency degree 1; our default
+// configuration matches both numbers: the sender sends m directly to every
+// process in m.dest (d(k-1) inter-group packets when the sender's group is
+// one of the k destinations) and receivers relay intra-group on first sight.
+//
+// Relay policies:
+//  * kIntraOnly (default) — first sight triggers an intra-group relay only.
+//    This guarantees agreement among correct processes *within* each group.
+//    Cross-group agreement when the sender crashes mid-send is deliberately
+//    left to the layer above: the paper's footnote 4 points out that A1's
+//    (TS, m) messages "also serve the purpose of propagating m", and A2
+//    only ever R-MCasts within the sender's own group.
+//  * kEager — first sight triggers a relay to every process in m.dest.
+//    Textbook reliable multicast: full agreement under any single-process
+//    crash, at O((kd)^2) messages. Used by tests that isolate the primitive
+//    and by the uniform variant below.
+//
+// Uniformity:
+//  * kNonUniform (default) — R-Deliver on first sight (latency degree 1).
+//  * kUniform — R-Deliver only once copies from a majority of the process's
+//    own group have been seen (own relay counts). Delivery still happens at
+//    latency degree 1 because the extra hops are intra-group. Used by the
+//    Fritzke-et-al. baseline, which the paper contrasts with A1's
+//    non-uniform choice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/message.hpp"
+#include "sim/runtime.hpp"
+
+namespace wanmc::rmcast {
+
+struct RmPayload final : Payload {
+  AppMsgPtr msg;
+  bool isRelay = false;
+  // Non-empty when the caller overrode the destination set (rmcastTo):
+  // receivers then deliver iff they appear in this list, regardless of
+  // m->dest. A2 uses this to R-MCast within the sender's group only.
+  std::vector<ProcessId> explicitDests;
+
+  RmPayload(AppMsgPtr m, bool relay, std::vector<ProcessId> dests = {})
+      : msg(std::move(m)), isRelay(relay), explicitDests(std::move(dests)) {}
+  [[nodiscard]] Layer layer() const override {
+    return Layer::kReliableMulticast;
+  }
+  [[nodiscard]] std::string debugString() const override {
+    return std::string(isRelay ? "rm-relay(m" : "rm(m") +
+           std::to_string(msg->id) + ")";
+  }
+};
+
+enum class RelayPolicy { kIntraOnly, kEager };
+enum class Uniformity { kNonUniform, kUniform };
+
+class ReliableMulticast {
+ public:
+  using DeliverCb = std::function<void(const AppMsgPtr&)>;
+
+  ReliableMulticast(sim::Runtime& rt, ProcessId self,
+                    RelayPolicy relay = RelayPolicy::kIntraOnly,
+                    Uniformity uniformity = Uniformity::kNonUniform)
+      : rt_(rt), self_(self), relay_(relay), uniformity_(uniformity) {}
+
+  void onDeliver(DeliverCb cb) { deliverCbs_.push_back(std::move(cb)); }
+
+  // R-MCast m to the processes of the groups in m->dest. The caller need
+  // not be a member of any destination group.
+  void rmcast(const AppMsgPtr& m);
+
+  // R-MCast m to an explicit process set (A2 uses "the sender's group").
+  void rmcastTo(const AppMsgPtr& m, const std::vector<ProcessId>& dests);
+
+  void onMessage(ProcessId from, const RmPayload& p);
+
+  [[nodiscard]] bool delivered(MsgId id) const {
+    return delivered_.count(id) > 0;
+  }
+
+ private:
+  struct Seen {
+    AppMsgPtr msg;
+    std::set<ProcessId> copiesFrom;  // distinct own-group copy senders
+    bool relayed = false;
+    bool explicitScope = false;   // dests came from rmcastTo
+    std::vector<ProcessId> dests;
+  };
+
+  void firstSight(const AppMsgPtr& m, ProcessId copyFrom,
+                  const std::vector<ProcessId>& dests, bool explicitScope);
+  void maybeDeliver(MsgId id);
+  [[nodiscard]] std::vector<ProcessId> destsOf(const AppMessage& m) const {
+    return rt_.topology().membersOf(m.dest);
+  }
+
+  sim::Runtime& rt_;
+  ProcessId self_;
+  RelayPolicy relay_;
+  Uniformity uniformity_;
+  std::vector<DeliverCb> deliverCbs_;
+  std::map<MsgId, Seen> seen_;
+  std::set<MsgId> delivered_;
+};
+
+}  // namespace wanmc::rmcast

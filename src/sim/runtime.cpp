@@ -1,0 +1,127 @@
+#include "sim/runtime.hpp"
+
+namespace wanmc::sim {
+
+void Runtime::attach(ProcessId pid, std::unique_ptr<Node> node) {
+  assert(pid >= 0 && pid < topo_.numProcesses());
+  const auto n = static_cast<size_t>(topo_.numProcesses());
+  if (sentAlgo_.size() != n) {
+    sentAlgo_.assign(n, 0);
+    recvAlgo_.assign(n, 0);
+  }
+  if (perProcOrder_.size() != n) perProcOrder_.assign(n, 0);
+  nodes_[static_cast<size_t>(pid)] = node.get();
+  owned_.push_back(std::move(node));
+}
+
+void Runtime::start() {
+  const auto n = static_cast<size_t>(topo_.numProcesses());
+  if (sentAlgo_.size() != n) {
+    sentAlgo_.assign(n, 0);
+    recvAlgo_.assign(n, 0);
+  }
+  if (perProcOrder_.size() != n) perProcOrder_.assign(n, 0);
+  for (ProcessId p = 0; p < topo_.numProcesses(); ++p) {
+    Node* node = nodes_[static_cast<size_t>(p)];
+    assert(node != nullptr && "every process must have an attached node");
+    if (!crashed(p)) node->onStart();
+  }
+}
+
+uint64_t Runtime::run(SimTime until, uint64_t maxEvents) {
+  return sched_.run(until, maxEvents);
+}
+
+void Runtime::multicast(ProcessId from, const std::vector<ProcessId>& tos,
+                        PayloadPtr payload) {
+  assert(payload != nullptr);
+  if (crashed(from)) return;  // crash-stop: a crashed process sends nothing
+  if (tos.empty()) return;
+
+  const Layer layer = payload->layer();
+
+  // Modified Lamport clock (paper §2.3, rule 2): the send event is stamped
+  // LC+1 if it leaves the group, LC otherwise; the sender's clock advances
+  // to the stamp. A fan-out to several destinations is ONE send event.
+  bool anyInter = false;
+  for (ProcessId to : tos)
+    if (!topo_.sameGroup(from, to)) anyInter = true;
+  uint64_t& senderClock = lamport_[static_cast<size_t>(from)];
+  const uint64_t sendTs = senderClock + (anyInter ? 1 : 0);
+  senderClock = sendTs;
+
+  if (layer != Layer::kFailureDetector) {
+    lastAlgoSend_ = sched_.now();
+    sentAlgo_[static_cast<size_t>(from)] = 1;
+  }
+
+  for (ProcessId to : tos) {
+    const bool inter = !topo_.sameGroup(from, to);
+    auto& counter = traffic_.at(layer);
+    if (inter) {
+      ++counter.inter;
+    } else {
+      ++counter.intra;
+    }
+    if (recordWire_) {
+      trace_.wire.push_back(WireEvent{from, to, layer, inter, sched_.now()});
+    }
+
+    if (drop_ && drop_(from, to, *payload)) continue;
+
+    const SimTime delay = drawLatency(inter);
+    sched_.at(sched_.now() + delay,
+              [this, from, to, sendTs, layer, p = payload]() {
+                if (crashed(to)) return;  // to a crashed process: vanishes
+                // Receive event (rule 3): the receiver's clock jumps to
+                // max(LC, ts(send(m))).
+                uint64_t& recvClock = lamport_[static_cast<size_t>(to)];
+                recvClock = std::max(recvClock, sendTs);
+                if (layer != Layer::kFailureDetector)
+                  recvAlgo_[static_cast<size_t>(to)] = 1;
+                nodes_[static_cast<size_t>(to)]->onMessage(from, p);
+              });
+  }
+}
+
+EventId Runtime::timer(ProcessId pid, SimTime delay, EventFn fn) {
+  return sched_.at(sched_.now() + delay, [this, pid, f = std::move(fn)]() {
+    if (!crashed(pid)) f();
+  });
+}
+
+void Runtime::crash(ProcessId pid) {
+  if (crashed(pid)) return;
+  crashed_[static_cast<size_t>(pid)] = 1;
+  if (nodes_[static_cast<size_t>(pid)] != nullptr)
+    nodes_[static_cast<size_t>(pid)]->onCrash();
+  for (const auto& fn : crashListeners_) fn(pid);
+}
+
+void Runtime::scheduleCrash(ProcessId pid, SimTime when) {
+  assert(when >= sched_.now());
+  sched_.at(when, [this, pid]() { crash(pid); });
+}
+
+int Runtime::aliveInGroup(GroupId g) const {
+  int alive = 0;
+  for (ProcessId p : topo_.members(g))
+    if (!crashed(p)) ++alive;
+  return alive;
+}
+
+void Runtime::recordCast(ProcessId pid, const AppMsgPtr& m) {
+  trace_.casts.push_back(CastEvent{pid, m->id, m->dest,
+                                   lamport_[static_cast<size_t>(pid)],
+                                   sched_.now()});
+  trace_.destOf[m->id] = m->dest;
+  trace_.senderOf[m->id] = pid;
+}
+
+void Runtime::recordDelivery(ProcessId pid, MsgId msg) {
+  trace_.deliveries.push_back(
+      DeliveryEvent{pid, msg, lamport_[static_cast<size_t>(pid)],
+                    sched_.now(), perProcOrder_[static_cast<size_t>(pid)]++});
+}
+
+}  // namespace wanmc::sim

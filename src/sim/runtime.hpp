@@ -1,0 +1,233 @@
+// The simulation runtime: scheduler + network + processes + instrumentation.
+//
+// The runtime implements the paper's system model (§2.1):
+//   * asynchronous message passing — per-message latency is drawn uniformly
+//     from [min,max] ranges, one range for intra-group and one (orders of
+//     magnitude larger) for inter-group links;
+//   * quasi-reliable links — a message from a correct process to a correct
+//     process is always delivered; messages to crashed processes vanish;
+//     an optional drop filter injects omission faults for substrate tests;
+//   * benign crash-stop failures — a crashed process sends nothing, receives
+//     nothing, and fires no timers from the crash instant on.
+//
+// It also implements the paper's cost model (§2.3): a modified Lamport clock
+// per process where ONLY inter-group sends tick the clock. Every A-XCast and
+// A-Deliver is recorded against that clock so that latency degrees can be
+// measured, not asserted.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/message.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/trace.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/topology.hpp"
+
+namespace wanmc::sim {
+
+struct LatencyModel {
+  SimTime intraMin = 1 * kMs;
+  SimTime intraMax = 2 * kMs;
+  SimTime interMin = 100 * kMs;
+  SimTime interMax = 110 * kMs;
+
+  // A LAN-vs-WAN model with no jitter, handy for deterministic examples.
+  static LatencyModel fixed(SimTime intra, SimTime inter) {
+    return LatencyModel{intra, intra, inter, inter};
+  }
+};
+
+class Node;
+
+class Runtime {
+ public:
+  Runtime(Topology topo, LatencyModel latency, uint64_t seed)
+      : topo_(std::move(topo)),
+        latency_(latency),
+        rng_(SplitMix64(seed).fork(0xa11ce)),
+        lamport_(static_cast<size_t>(topo_.numProcesses()), 0),
+        crashed_(static_cast<size_t>(topo_.numProcesses()), 0),
+        nodes_(static_cast<size_t>(topo_.numProcesses()), nullptr) {}
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ---- wiring ------------------------------------------------------------
+
+  // Takes ownership of the node hosting process `pid`.
+  void attach(ProcessId pid, std::unique_ptr<Node> node);
+
+  [[nodiscard]] Node& node(ProcessId pid) {
+    assert(owned_[static_cast<size_t>(pid)]);
+    return *nodes_[static_cast<size_t>(pid)];
+  }
+
+  // ---- simulation control --------------------------------------------------
+
+  // Calls Node::onStart on every attached node (at the current sim time) and
+  // runs until quiescence or `until`.
+  void start();
+  uint64_t run(SimTime until = kTimeNever, uint64_t maxEvents = UINT64_MAX);
+  bool stepOne() { return sched_.step(); }
+
+  [[nodiscard]] SimTime now() const { return sched_.now(); }
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] SplitMix64& rng() { return rng_; }
+
+  // ---- messaging (used by Node) -------------------------------------------
+
+  // Sends `payload` from `from` to `to`, applying the latency model, the
+  // traffic accounting, and the modified Lamport-clock rules. A crashed
+  // sender sends nothing; delivery to a crashed receiver is dropped.
+  void send(ProcessId from, ProcessId to, PayloadPtr payload) {
+    multicast(from, {to}, std::move(payload));
+  }
+
+  // Sends one payload to many destinations as a SINGLE send event: the
+  // sender's Lamport clock ticks once (iff any destination is in another
+  // group), and every copy carries that one stamp. This matches the paper's
+  // cost model: in the proof of Theorem 4.1, "processes in g_i send (TS, m)
+  // to g_{3-i}" is one event with one timestamp, not |g| events. Message
+  // *counts* are still per link (one per destination).
+  void multicast(ProcessId from, const std::vector<ProcessId>& tos,
+                 PayloadPtr payload);
+
+  // Omission-fault injection hook for substrate tests. Return true to drop.
+  using DropFilter =
+      std::function<bool(ProcessId from, ProcessId to, const Payload&)>;
+  void setDropFilter(DropFilter f) { drop_ = std::move(f); }
+
+  // ---- timers --------------------------------------------------------------
+
+  // Fires `fn` after `delay` unless the process has crashed by then.
+  // Timers are local events: they never touch the Lamport clock.
+  EventId timer(ProcessId pid, SimTime delay, EventFn fn);
+  void cancelTimer(EventId id) { sched_.cancel(id); }
+
+  // ---- failures ------------------------------------------------------------
+
+  void crash(ProcessId pid);
+  void scheduleCrash(ProcessId pid, SimTime when);
+  // Registers a callback fired (as a local event) whenever a process
+  // crashes. Used by the oracle failure detector.
+  void addCrashListener(std::function<void(ProcessId)> fn) {
+    crashListeners_.push_back(std::move(fn));
+  }
+  [[nodiscard]] bool crashed(ProcessId pid) const {
+    return crashed_[static_cast<size_t>(pid)] != 0;
+  }
+  [[nodiscard]] int aliveInGroup(GroupId g) const;
+
+  // ---- instrumentation -----------------------------------------------------
+
+  [[nodiscard]] uint64_t lamport(ProcessId pid) const {
+    return lamport_[static_cast<size_t>(pid)];
+  }
+
+  // Record an A-XCast event (local event: stamped with the current clock).
+  void recordCast(ProcessId pid, const AppMsgPtr& m);
+  // Record an A-Deliver event.
+  void recordDelivery(ProcessId pid, MsgId msg);
+
+  [[nodiscard]] const RunTrace& trace() const { return trace_; }
+  [[nodiscard]] RunTrace& trace() { return trace_; }
+  [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
+
+  void setRecordWire(bool on) { recordWire_ = on; }
+
+  // Time of the last non-FD packet handed to the network. The quiescence
+  // verifier compares this against the last cast (paper §5.2 / Prop. A.9).
+  [[nodiscard]] SimTime lastAlgorithmicSend() const { return lastAlgoSend_; }
+
+  // Per-process "took part in the protocol" flags for the genuineness
+  // checker (layer kFailureDetector excluded, see DESIGN.md §2).
+  [[nodiscard]] bool everSentAlgorithmic(ProcessId pid) const {
+    return sentAlgo_[static_cast<size_t>(pid)] != 0;
+  }
+  [[nodiscard]] bool everReceivedAlgorithmic(ProcessId pid) const {
+    return recvAlgo_[static_cast<size_t>(pid)] != 0;
+  }
+
+ private:
+  Topology topo_;
+  LatencyModel latency_;
+  SplitMix64 rng_;
+  Scheduler sched_;
+
+  std::vector<uint64_t> lamport_;
+  std::vector<uint8_t> crashed_;
+  std::vector<Node*> nodes_;
+  std::vector<std::unique_ptr<Node>> owned_;
+
+  DropFilter drop_;
+  std::vector<std::function<void(ProcessId)>> crashListeners_;
+  RunTrace trace_;
+  TrafficStats traffic_;
+  bool recordWire_ = false;
+  SimTime lastAlgoSend_ = -1;
+  std::vector<uint8_t> sentAlgo_ = std::vector<uint8_t>(
+      static_cast<size_t>(1024), 0);  // resized in attach()
+  std::vector<uint8_t> recvAlgo_ = std::vector<uint8_t>(
+      static_cast<size_t>(1024), 0);
+  std::vector<uint64_t> perProcOrder_;
+
+  SimTime drawLatency(bool interGroup) {
+    return interGroup ? rng_.uniform(latency_.interMin, latency_.interMax)
+                      : rng_.uniform(latency_.intraMin, latency_.intraMax);
+  }
+};
+
+// Base class of a simulated process. A Node hosts the whole per-process
+// protocol stack (failure detector, consensus, reliable multicast, and the
+// atomic multicast/broadcast algorithm); subclasses dispatch payloads to the
+// right component in onMessage.
+class Node {
+ public:
+  Node(Runtime& rt, ProcessId pid)
+      : rt_(rt), pid_(pid), gid_(rt.topology().group(pid)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+  [[nodiscard]] GroupId gid() const { return gid_; }
+  [[nodiscard]] Runtime& runtime() { return rt_; }
+  [[nodiscard]] const Topology& topology() const { return rt_.topology(); }
+  [[nodiscard]] SimTime now() const { return rt_.now(); }
+
+  // Called once when the simulation starts.
+  virtual void onStart() {}
+  // Called for every delivered packet.
+  virtual void onMessage(ProcessId from, const PayloadPtr& payload) = 0;
+  // Called when this process crashes (for bookkeeping only — a crashed
+  // process takes no further steps).
+  virtual void onCrash() {}
+
+ protected:
+  void send(ProcessId to, PayloadPtr payload) {
+    rt_.send(pid_, to, std::move(payload));
+  }
+  // One send event, many copies (see Runtime::multicast).
+  void sendToMany(const std::vector<ProcessId>& tos, const PayloadPtr& p) {
+    rt_.multicast(pid_, tos, p);
+  }
+  EventId timer(SimTime delay, EventFn fn) {
+    return rt_.timer(pid_, delay, std::move(fn));
+  }
+
+ private:
+  Runtime& rt_;
+  ProcessId pid_;
+  GroupId gid_;
+};
+
+}  // namespace wanmc::sim

@@ -1,0 +1,91 @@
+// Deterministic discrete-event scheduler.
+//
+// Events fire in (time, insertion-sequence) order, so a run is a pure
+// function of the seed and the initial configuration. Cancellation is
+// tombstone-based: timers return an id which can be cancelled in O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace wanmc::sim {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+class Scheduler {
+ public:
+  EventId at(SimTime when, EventFn fn) {
+    EventId id = nextId_++;
+    queue_.push(Entry{when, id, std::move(fn)});
+    return id;
+  }
+
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] size_t pendingEvents() const {
+    return queue_.size() - cancelled_.size();
+  }
+
+  // Run a single event. Returns false if the queue is exhausted.
+  bool step() {
+    while (!queue_.empty()) {
+      Entry e = queue_.top();
+      queue_.pop();
+      if (cancelled_.erase(e.id) > 0) continue;
+      now_ = e.when;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Run until the queue is exhausted or `until` is reached (events stamped
+  // after `until` stay queued). Returns the number of events fired.
+  uint64_t run(SimTime until = kTimeNever, uint64_t maxEvents = UINT64_MAX) {
+    uint64_t fired = 0;
+    while (fired < maxEvents && !queue_.empty()) {
+      const Entry& top = queue_.top();
+      if (cancelled_.count(top.id)) {
+        cancelled_.erase(top.id);
+        queue_.pop();
+        continue;
+      }
+      if (top.when > until) break;
+      Entry e = top;
+      queue_.pop();
+      now_ = e.when;
+      e.fn();
+      ++fired;
+    }
+    if (now_ < until && until != kTimeNever) now_ = until;
+    return fired;
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0;
+  EventId nextId_ = 1;
+};
+
+}  // namespace wanmc::sim

@@ -1,0 +1,86 @@
+// WAN topology: processes partitioned into disjoint groups.
+//
+// The paper's model (§2.1): Pi = {p1..pn}, Gamma = {g1..gm}, groups disjoint
+// and covering Pi. Intra-group links are cheap/fast, inter-group links slow.
+// We use a regular topology (every group the same size) by default, which is
+// what the paper's Figure 1 accounting assumes (d processes per group), but
+// ragged group sizes are supported.
+#pragma once
+
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace wanmc {
+
+class Topology {
+ public:
+  Topology() = default;
+
+  // Regular topology: `groups` groups of `procsPerGroup` processes each.
+  Topology(int groups, int procsPerGroup)
+      : Topology(std::vector<int>(static_cast<size_t>(groups),
+                                  procsPerGroup)) {}
+
+  // Ragged topology: sizes[g] processes in group g.
+  explicit Topology(std::vector<int> sizes) : sizes_(std::move(sizes)) {
+    groupOf_.clear();
+    for (GroupId g = 0; g < static_cast<GroupId>(sizes_.size()); ++g) {
+      firstPid_.push_back(static_cast<ProcessId>(groupOf_.size()));
+      for (int i = 0; i < sizes_[static_cast<size_t>(g)]; ++i)
+        groupOf_.push_back(g);
+    }
+  }
+
+  [[nodiscard]] int numProcesses() const {
+    return static_cast<int>(groupOf_.size());
+  }
+  [[nodiscard]] int numGroups() const {
+    return static_cast<int>(sizes_.size());
+  }
+  [[nodiscard]] int groupSize(GroupId g) const {
+    return sizes_[static_cast<size_t>(g)];
+  }
+  [[nodiscard]] GroupId group(ProcessId p) const {
+    assert(p >= 0 && p < numProcesses());
+    return groupOf_[static_cast<size_t>(p)];
+  }
+  [[nodiscard]] bool sameGroup(ProcessId a, ProcessId b) const {
+    return group(a) == group(b);
+  }
+
+  [[nodiscard]] std::vector<ProcessId> members(GroupId g) const {
+    std::vector<ProcessId> out;
+    ProcessId first = firstPid_[static_cast<size_t>(g)];
+    for (int i = 0; i < groupSize(g); ++i) out.push_back(first + i);
+    return out;
+  }
+
+  [[nodiscard]] std::vector<ProcessId> membersOf(const GroupSet& gs) const {
+    std::vector<ProcessId> out;
+    for (GroupId g : gs.groups()) {
+      auto ms = members(g);
+      out.insert(out.end(), ms.begin(), ms.end());
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<ProcessId> allProcesses() const {
+    std::vector<ProcessId> out(static_cast<size_t>(numProcesses()));
+    std::iota(out.begin(), out.end(), 0);
+    return out;
+  }
+
+  [[nodiscard]] GroupSet allGroups() const {
+    return GroupSet::all(numGroups());
+  }
+
+ private:
+  std::vector<int> sizes_;
+  std::vector<GroupId> groupOf_;
+  std::vector<ProcessId> firstPid_;
+};
+
+}  // namespace wanmc

@@ -1,0 +1,201 @@
+#include "verify/properties.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wanmc::verify {
+
+namespace {
+
+std::string pname(ProcessId p) { return "p" + std::to_string(p); }
+std::string mname(MsgId m) { return "m" + std::to_string(m); }
+
+bool isAddressee(const CheckContext& ctx, ProcessId p, MsgId m) {
+  auto it = ctx.trace->destOf.find(m);
+  if (it == ctx.trace->destOf.end()) return false;
+  return it->second.contains(ctx.topo->group(p));
+}
+
+// Final delivery sequence of every process.
+std::map<ProcessId, std::vector<MsgId>> sequences(const CheckContext& ctx) {
+  return ctx.trace->sequences();
+}
+
+Violations prefixOrderOver(const CheckContext& ctx,
+                           const std::set<ProcessId>& procs) {
+  Violations out;
+  auto seqs = sequences(ctx);
+  std::vector<ProcessId> ps(procs.begin(), procs.end());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    for (size_t j = i + 1; j < ps.size(); ++j) {
+      const ProcessId p = ps[i];
+      const ProcessId q = ps[j];
+      // Project both sequences on messages addressed to BOTH p and q.
+      auto project = [&](ProcessId self) {
+        std::vector<MsgId> out2;
+        for (MsgId m : seqs[self])
+          if (isAddressee(ctx, p, m) && isAddressee(ctx, q, m))
+            out2.push_back(m);
+        return out2;
+      };
+      const auto sp = project(p);
+      const auto sq = project(q);
+      const size_t n = std::min(sp.size(), sq.size());
+      for (size_t x = 0; x < n; ++x) {
+        if (sp[x] != sq[x]) {
+          std::ostringstream os;
+          os << "prefix order violated between " << pname(p) << " and "
+             << pname(q) << " at position " << x << ": " << mname(sp[x])
+             << " vs " << mname(sq[x]);
+          out.push_back(os.str());
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Violations checkUniformIntegrity(const CheckContext& ctx) {
+  Violations out;
+  std::set<MsgId> cast;
+  for (const auto& c : ctx.trace->casts) cast.insert(c.msg);
+
+  std::map<std::pair<ProcessId, MsgId>, int> count;
+  for (const auto& d : ctx.trace->deliveries) {
+    ++count[{d.process, d.msg}];
+    if (!cast.count(d.msg))
+      out.push_back(pname(d.process) + " delivered " + mname(d.msg) +
+                    " which was never A-XCast");
+    if (!isAddressee(ctx, d.process, d.msg))
+      out.push_back(pname(d.process) + " delivered " + mname(d.msg) +
+                    " but is not an addressee");
+  }
+  for (const auto& [key, n] : count) {
+    if (n > 1)
+      out.push_back(pname(key.first) + " delivered " + mname(key.second) +
+                    " " + std::to_string(n) + " times");
+  }
+  return out;
+}
+
+Violations checkValidity(const CheckContext& ctx) {
+  Violations out;
+  std::map<ProcessId, std::set<MsgId>> deliveredBy;
+  for (const auto& d : ctx.trace->deliveries)
+    deliveredBy[d.process].insert(d.msg);
+
+  for (const auto& c : ctx.trace->casts) {
+    if (!ctx.correct.count(c.process)) continue;  // only correct senders
+    for (ProcessId q : ctx.correct) {
+      if (!isAddressee(ctx, q, c.msg)) continue;
+      if (!deliveredBy[q].count(c.msg))
+        out.push_back("validity: correct " + pname(q) + " never delivered " +
+                      mname(c.msg) + " cast by correct " + pname(c.process));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Violations agreementImpl(const CheckContext& ctx, bool uniform) {
+  Violations out;
+  std::map<ProcessId, std::set<MsgId>> deliveredBy;
+  std::set<MsgId> deliveredByAnyone;
+  std::set<MsgId> deliveredByCorrect;
+  for (const auto& d : ctx.trace->deliveries) {
+    deliveredBy[d.process].insert(d.msg);
+    deliveredByAnyone.insert(d.msg);
+    if (ctx.correct.count(d.process)) deliveredByCorrect.insert(d.msg);
+  }
+  const auto& trigger = uniform ? deliveredByAnyone : deliveredByCorrect;
+  for (MsgId m : trigger) {
+    for (ProcessId q : ctx.correct) {
+      if (!isAddressee(ctx, q, m)) continue;
+      if (!deliveredBy[q].count(m))
+        out.push_back(std::string(uniform ? "uniform " : "") +
+                      "agreement: correct " + pname(q) +
+                      " never delivered " + mname(m) +
+                      " although it was delivered elsewhere");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Violations checkUniformAgreement(const CheckContext& ctx) {
+  return agreementImpl(ctx, /*uniform=*/true);
+}
+
+Violations checkAgreementCorrectOnly(const CheckContext& ctx) {
+  return agreementImpl(ctx, /*uniform=*/false);
+}
+
+Violations checkUniformPrefixOrder(const CheckContext& ctx) {
+  std::set<ProcessId> all;
+  for (ProcessId p : ctx.topo->allProcesses()) all.insert(p);
+  return prefixOrderOver(ctx, all);
+}
+
+Violations checkPrefixOrderCorrectOnly(const CheckContext& ctx) {
+  return prefixOrderOver(ctx, ctx.correct);
+}
+
+Violations checkGenuineness(const CheckContext& ctx,
+                            const GenuinenessInput& in) {
+  Violations out;
+  // Allowed participants: every sender and every addressee of cast messages.
+  std::set<ProcessId> allowed;
+  for (const auto& c : ctx.trace->casts) {
+    allowed.insert(c.process);
+    for (ProcessId p : ctx.topo->allProcesses())
+      if (c.dest.contains(ctx.topo->group(p))) allowed.insert(p);
+  }
+  for (ProcessId p : in.sentAlgorithmic) {
+    if (!allowed.count(p))
+      out.push_back("genuineness: " + pname(p) +
+                    " sent protocol messages but is neither sender nor "
+                    "addressee of any cast message");
+  }
+  for (ProcessId p : in.receivedAlgorithmic) {
+    if (!allowed.count(p))
+      out.push_back("genuineness: " + pname(p) +
+                    " received protocol messages but is neither sender nor "
+                    "addressee of any cast message");
+  }
+  return out;
+}
+
+Violations checkQuiescence(const CheckContext& ctx, SimTime lastAlgoSend,
+                           SimTime settleBudget) {
+  Violations out;
+  SimTime lastCast = 0;
+  for (const auto& c : ctx.trace->casts)
+    lastCast = std::max(lastCast, c.when);
+  if (lastAlgoSend > lastCast + settleBudget) {
+    std::ostringstream os;
+    os << "quiescence: a protocol message was sent at t=" << lastAlgoSend
+       << "us, more than " << settleBudget << "us after the last cast (t="
+       << lastCast << "us)";
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+Violations checkAtomicSuite(const CheckContext& ctx) {
+  Violations out;
+  auto append = [&out](Violations v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  append(checkUniformIntegrity(ctx));
+  append(checkValidity(ctx));
+  append(checkUniformAgreement(ctx));
+  append(checkUniformPrefixOrder(ctx));
+  return out;
+}
+
+}  // namespace wanmc::verify

@@ -1,0 +1,74 @@
+// Property checkers over run traces.
+//
+// Each checker corresponds to a property of the paper's §2.2 specification
+// (or §3's definitions) and returns a list of human-readable violations —
+// empty means the property held in the observed run. The checkers take the
+// run trace plus the set of processes that were correct (never crashed), so
+// uniform vs non-uniform obligations can be told apart.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/trace.hpp"
+#include "sim/topology.hpp"
+
+namespace wanmc::verify {
+
+struct CheckContext {
+  const RunTrace* trace = nullptr;
+  const Topology* topo = nullptr;
+  std::set<ProcessId> correct;  // processes that never crashed
+};
+
+using Violations = std::vector<std::string>;
+
+// Uniform integrity: every process A-Delivers a message at most once, only
+// if it is an addressee, and only if the message was A-XCast.
+Violations checkUniformIntegrity(const CheckContext& ctx);
+
+// Validity: if a correct process A-XCasts m, every correct addressee
+// eventually A-Delivers m (checked at end of run: "eventually" = "by now").
+Violations checkValidity(const CheckContext& ctx);
+
+// Uniform agreement: if ANY process (even one that later crashed)
+// A-Delivers m, every correct addressee A-Delivers m.
+Violations checkUniformAgreement(const CheckContext& ctx);
+
+// Non-uniform agreement (for the Sousa-et-al. baseline): like uniform
+// agreement but only deliveries by correct processes create obligations.
+Violations checkAgreementCorrectOnly(const CheckContext& ctx);
+
+// Uniform prefix order: for any two processes p,q and the final sequences
+// S_p, S_q projected on messages addressed to both p and q, one projection
+// is a prefix of the other.
+Violations checkUniformPrefixOrder(const CheckContext& ctx);
+
+// Prefix order restricted to pairs of correct processes.
+Violations checkPrefixOrderCorrectOnly(const CheckContext& ctx);
+
+// Genuineness (paper §2.2): only the sender and the addressees of cast
+// messages take part in the protocol. Checked over the runtime's per-layer
+// participation flags; the failure-detector substrate is excluded (it is an
+// oracle in the paper's accounting, DESIGN.md §2).
+struct GenuinenessInput {
+  std::set<ProcessId> sentAlgorithmic;
+  std::set<ProcessId> receivedAlgorithmic;
+};
+Violations checkGenuineness(const CheckContext& ctx,
+                            const GenuinenessInput& in);
+
+// Quiescence: the last algorithmic (non-FD) send happened within
+// `settleBudget` of the last A-XCast. lastAlgoSend < 0 means nothing was
+// ever sent.
+Violations checkQuiescence(const CheckContext& ctx, SimTime lastAlgoSend,
+                           SimTime settleBudget);
+
+// Convenience: run the standard safety suite (integrity + validity +
+// uniform agreement + uniform prefix order) and return all violations.
+Violations checkAtomicSuite(const CheckContext& ctx);
+
+}  // namespace wanmc::verify

@@ -1,0 +1,240 @@
+// Unit tests for the per-group uniform consensus implementations
+// (EarlyConsensus and CtConsensus), including crash and suspicion cases.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "consensus/consensus.hpp"
+#include "core/stack_node.hpp"
+
+namespace wanmc {
+namespace {
+
+using consensus::ConsensusKind;
+using consensus::Instance;
+
+// A bare test node hosting one consensus service over its whole group.
+class ConsensusHost final : public core::StackNode {
+ public:
+  ConsensusHost(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg)
+      : core::StackNode(rt, pid, cfg) {
+    svc = &addGroupConsensus();
+    svc->onDecide([this](Instance k, const ConsensusValue& v) {
+      decisions[k] = v;
+      decisionOrder.push_back(k);
+    });
+  }
+  void onProtocolMessage(ProcessId, const PayloadPtr&) override {}
+
+  consensus::ConsensusService* svc = nullptr;
+  std::map<Instance, ConsensusValue> decisions;
+  std::vector<Instance> decisionOrder;
+};
+
+struct Fixture {
+  explicit Fixture(int procs, ConsensusKind kind, uint64_t seed = 1,
+                   fd::FdKind fdKind = fd::FdKind::kOracle)
+      : rt(Topology(1, procs), sim::LatencyModel::fixed(kMs, 100 * kMs),
+           seed) {
+    core::StackConfig cfg;
+    cfg.consensusKind = kind;
+    cfg.fdKind = fdKind;
+    cfg.fdOracleDelay = 10 * kMs;
+    for (ProcessId p = 0; p < procs; ++p) {
+      auto n = std::make_unique<ConsensusHost>(rt, p, cfg);
+      hosts.push_back(n.get());
+      rt.attach(p, std::move(n));
+    }
+    rt.start();
+  }
+
+  sim::Runtime rt;
+  std::vector<ConsensusHost*> hosts;
+};
+
+ConsensusValue num(uint64_t v) { return ConsensusValue{v}; }
+
+class ConsensusParamTest : public ::testing::TestWithParam<ConsensusKind> {};
+
+TEST_P(ConsensusParamTest, SingleProcessDecidesOwnValue) {
+  Fixture f(1, GetParam());
+  f.hosts[0]->svc->propose(1, num(42));
+  f.rt.run();
+  ASSERT_TRUE(f.hosts[0]->decisions.count(1));
+  EXPECT_TRUE(valueEquals(f.hosts[0]->decisions[1], num(42)));
+}
+
+TEST_P(ConsensusParamTest, AllDecideSameValue) {
+  Fixture f(3, GetParam());
+  for (int p = 0; p < 3; ++p)
+    f.hosts[p]->svc->propose(1, num(100 + static_cast<uint64_t>(p)));
+  f.rt.run();
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_TRUE(f.hosts[p]->decisions.count(1)) << "p" << p;
+    EXPECT_TRUE(valueEquals(f.hosts[p]->decisions[1],
+                            f.hosts[0]->decisions[1]));
+  }
+}
+
+TEST_P(ConsensusParamTest, UniformIntegrityDecidedWasProposed) {
+  Fixture f(5, GetParam());
+  for (int p = 0; p < 5; ++p)
+    f.hosts[p]->svc->propose(1, num(static_cast<uint64_t>(p)));
+  f.rt.run();
+  const auto& d = f.hosts[0]->decisions[1];
+  const auto v = std::get<uint64_t>(d);
+  EXPECT_LT(v, 5u);
+}
+
+TEST_P(ConsensusParamTest, IndependentInstances) {
+  Fixture f(3, GetParam());
+  for (int p = 0; p < 3; ++p) {
+    f.hosts[p]->svc->propose(7, num(70));
+    f.hosts[p]->svc->propose(9, num(90));
+  }
+  f.rt.run();
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_TRUE(valueEquals(f.hosts[p]->decisions[7], num(70)));
+    EXPECT_TRUE(valueEquals(f.hosts[p]->decisions[9], num(90)));
+  }
+}
+
+TEST_P(ConsensusParamTest, LatecomerProposerStillDecides) {
+  Fixture f(3, GetParam());
+  f.hosts[0]->svc->propose(1, num(5));
+  f.hosts[1]->svc->propose(1, num(6));
+  f.rt.run();  // majority may already decide
+  f.hosts[2]->svc->propose(1, num(7));
+  f.rt.run();
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_TRUE(f.hosts[p]->decisions.count(1)) << "p" << p;
+    EXPECT_TRUE(valueEquals(f.hosts[p]->decisions[1],
+                            f.hosts[0]->decisions[1]));
+  }
+}
+
+TEST_P(ConsensusParamTest, ToleratesMinorityCrashBeforePropose) {
+  Fixture f(3, GetParam());
+  f.rt.crash(2);
+  f.hosts[0]->svc->propose(1, num(11));
+  f.hosts[1]->svc->propose(1, num(12));
+  f.rt.run();
+  ASSERT_TRUE(f.hosts[0]->decisions.count(1));
+  ASSERT_TRUE(f.hosts[1]->decisions.count(1));
+  EXPECT_TRUE(
+      valueEquals(f.hosts[0]->decisions[1], f.hosts[1]->decisions[1]));
+}
+
+TEST_P(ConsensusParamTest, ToleratesCoordinatorCrashMidInstance) {
+  Fixture f(5, GetParam());
+  // The round-1 coordinator of instance 1 is members[(1 + 0) % 5] = p1.
+  // Crash it shortly after proposals go out.
+  for (int p = 0; p < 5; ++p)
+    f.hosts[p]->svc->propose(1, num(static_cast<uint64_t>(p) + 1));
+  f.rt.scheduleCrash(1, kMs / 2);
+  f.rt.run();
+  std::optional<uint64_t> decided;
+  for (int p = 0; p < 5; ++p) {
+    if (p == 1) continue;
+    ASSERT_TRUE(f.hosts[p]->decisions.count(1)) << "p" << p;
+    const auto v = std::get<uint64_t>(f.hosts[p]->decisions[1]);
+    if (!decided) decided = v;
+    EXPECT_EQ(*decided, v);
+  }
+}
+
+TEST_P(ConsensusParamTest, ManySequentialInstances) {
+  Fixture f(3, GetParam());
+  for (Instance k = 1; k <= 20; ++k)
+    for (int p = 0; p < 3; ++p) f.hosts[p]->svc->propose(k, num(k * 10));
+  f.rt.run();
+  for (int p = 0; p < 3; ++p)
+    for (Instance k = 1; k <= 20; ++k)
+      EXPECT_TRUE(valueEquals(f.hosts[p]->decisions[k], num(k * 10)));
+}
+
+TEST_P(ConsensusParamTest, SparseInstanceNumbers) {
+  // A1 numbers instances by the (jumping) group clock.
+  Fixture f(3, GetParam());
+  for (Instance k : {5u, 17u, 1000000u})
+    for (int p = 0; p < 3; ++p) f.hosts[p]->svc->propose(k, num(k));
+  f.rt.run();
+  for (int p = 0; p < 3; ++p)
+    for (Instance k : {5u, 17u, 1000000u})
+      EXPECT_TRUE(valueEquals(f.hosts[p]->decisions[k], num(k)));
+}
+
+TEST_P(ConsensusParamTest, SecondProposalPerInstanceIgnored) {
+  Fixture f(3, GetParam());
+  for (int p = 0; p < 3; ++p) f.hosts[p]->svc->propose(1, num(1));
+  f.rt.run();
+  const auto before = f.hosts[0]->decisions[1];
+  f.hosts[0]->svc->propose(1, num(999));
+  f.rt.run();
+  EXPECT_TRUE(valueEquals(f.hosts[0]->decisions[1], before));
+}
+
+TEST_P(ConsensusParamTest, WorksWithHeartbeatFd) {
+  Fixture f(3, GetParam(), /*seed=*/3, fd::FdKind::kHeartbeat);
+  for (int p = 0; p < 3; ++p) f.hosts[p]->svc->propose(1, num(8));
+  f.rt.run(5 * kSec);  // heartbeats never stop; bound the run
+  for (int p = 0; p < 3; ++p)
+    EXPECT_TRUE(valueEquals(f.hosts[p]->decisions[1], num(8)));
+}
+
+TEST_P(ConsensusParamTest, CrashWithHeartbeatFdStillLive) {
+  Fixture f(3, GetParam(), /*seed=*/4, fd::FdKind::kHeartbeat);
+  for (int p = 0; p < 3; ++p)
+    f.hosts[p]->svc->propose(1, num(static_cast<uint64_t>(p)));
+  f.rt.scheduleCrash(1, kMs);
+  f.rt.run(10 * kSec);
+  ASSERT_TRUE(f.hosts[0]->decisions.count(1));
+  ASSERT_TRUE(f.hosts[2]->decisions.count(1));
+  EXPECT_TRUE(
+      valueEquals(f.hosts[0]->decisions[1], f.hosts[2]->decisions[1]));
+}
+
+TEST_P(ConsensusParamTest, BundleValuesRoundTrip) {
+  Fixture f(3, GetParam());
+  MsgBundle b{makeAppMessage(3, 0, GroupSet::of({0})),
+              makeAppMessage(1, 1, GroupSet::of({0}))};
+  canonicalize(b);
+  for (int p = 0; p < 3; ++p) f.hosts[p]->svc->propose(1, b);
+  f.rt.run();
+  const auto& d = std::get<MsgBundle>(f.hosts[1]->decisions[1]);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0]->id, 1u);
+  EXPECT_EQ(d[1]->id, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ConsensusParamTest,
+                         ::testing::Values(ConsensusKind::kEarly,
+                                           ConsensusKind::kCt),
+                         [](const auto& info) {
+                           return info.param == ConsensusKind::kEarly
+                                      ? "Early"
+                                      : "ChandraToueg";
+                         });
+
+TEST(EarlyConsensus, DecidesInTwoIntraDelaysFailureFree) {
+  // The early-deciding fast path: propose -> PROPOSE broadcast -> ACK
+  // broadcast -> decide. With 1ms intra links that is ~2-3ms, well under
+  // one WAN delay — the basis of the paper's "consensus costs no
+  // inter-group delay" accounting.
+  Fixture f(3, ConsensusKind::kEarly);
+  for (int p = 0; p < 3; ++p) f.hosts[p]->svc->propose(1, num(1));
+  f.rt.run(5 * kMs);
+  for (int p = 0; p < 3; ++p) EXPECT_TRUE(f.hosts[p]->decisions.count(1));
+}
+
+TEST(Consensus, NoInterGroupTrafficForGroupScopedInstances) {
+  Fixture f(3, ConsensusKind::kEarly);
+  for (int p = 0; p < 3; ++p) f.hosts[p]->svc->propose(1, num(1));
+  f.rt.run();
+  EXPECT_EQ(f.rt.traffic().at(Layer::kConsensus).inter, 0u);
+  EXPECT_GT(f.rt.traffic().at(Layer::kConsensus).intra, 0u);
+}
+
+}  // namespace
+}  // namespace wanmc

@@ -1,0 +1,175 @@
+// Tests for the trace/statistics export module and the Experiment API
+// surface (workload generation, cumulative runs, config handling).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/export.hpp"
+
+namespace wanmc {
+namespace {
+
+using core::Experiment;
+using core::ProtocolKind;
+using core::RunConfig;
+
+core::RunResult sampleRun() {
+  RunConfig c;
+  c.groups = 2;
+  c.procsPerGroup = 2;
+  c.protocol = ProtocolKind::kA1;
+  c.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
+  Experiment ex(c);
+  ex.castAt(kMs, 0, GroupSet::of({0, 1}), "x");
+  ex.castAt(300 * kMs, 2, GroupSet::of({1}), "y");
+  return ex.run();
+}
+
+TEST(ExportCsv, DeliveriesHaveHeaderAndRows) {
+  auto r = sampleRun();
+  std::ostringstream os;
+  core::writeDeliveriesCsv(r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("process,group,msg,sender,destGroups,lamport,"
+                     "simTimeUs,order"),
+            std::string::npos);
+  // m1 delivered at 4 processes, m2 at 2: header + 6 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 7);
+}
+
+TEST(ExportCsv, MessagesIncludeDegreesAndWall) {
+  auto r = sampleRun();
+  std::ostringstream os;
+  core::writeMessagesCsv(r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("latencyDegree"), std::string::npos);
+  EXPECT_NE(out.find("1,0,0|1,1000,"), std::string::npos);  // m1 row prefix
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);   // header + 2
+}
+
+TEST(ExportJson, SummaryContainsAggregates) {
+  auto r = sampleRun();
+  std::ostringstream os;
+  core::writeSummaryJson(r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"processes\": 4"), std::string::npos);
+  EXPECT_NE(out.find("\"casts\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"deliveries\": 6"), std::string::npos);
+  EXPECT_NE(out.find("\"latencyDegreeHistogram\""), std::string::npos);
+  EXPECT_NE(out.find("\"safetyViolations\": []"), std::string::npos);
+}
+
+TEST(ExportJson, ViolationsAreReported) {
+  // Hand-build a trace with a duplicate delivery.
+  core::RunResult r;
+  r.topo = Topology(1, 1);
+  r.correct = {0};
+  r.trace.casts.push_back(CastEvent{0, 1, GroupSet::of({0}), 0, 0});
+  r.trace.destOf[1] = GroupSet::of({0});
+  r.trace.deliveries.push_back(DeliveryEvent{0, 1, 0, 1, 0});
+  r.trace.deliveries.push_back(DeliveryEvent{0, 1, 0, 2, 1});
+  std::ostringstream os;
+  core::writeSummaryJson(r, os);
+  EXPECT_NE(os.str().find("2 times"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment API surface.
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentApi, WorkloadIsDeterministicPerSeed) {
+  auto gen = [](uint64_t seed) {
+    RunConfig c;
+    c.groups = 3;
+    c.procsPerGroup = 2;
+    c.protocol = ProtocolKind::kA1;
+    Experiment ex(c);
+    core::WorkloadSpec spec;
+    spec.count = 10;
+    spec.seed = seed;
+    auto ids = scheduleWorkload(ex, spec);
+    auto r = ex.run(0);  // don't execute: inspect the scheduled casts only
+    (void)r;
+    return ids;
+  };
+  EXPECT_EQ(gen(3), gen(3));
+}
+
+TEST(ExperimentApi, WorkloadRespectsDestGroupCount) {
+  RunConfig c;
+  c.groups = 4;
+  c.procsPerGroup = 2;
+  c.protocol = ProtocolKind::kA1;
+  c.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
+  Experiment ex(c);
+  core::WorkloadSpec spec;
+  spec.count = 12;
+  spec.destGroups = 3;
+  scheduleWorkload(ex, spec);
+  auto r = ex.run(600 * kSec);
+  for (const auto& cst : r.trace.casts) {
+    EXPECT_EQ(cst.dest.size(), 3);
+    // The sender's own group is always addressed.
+    EXPECT_TRUE(cst.dest.contains(r.topo.group(cst.process)));
+  }
+}
+
+TEST(ExperimentApi, BroadcastProtocolsAlwaysGetFullDest) {
+  RunConfig c;
+  c.groups = 3;
+  c.procsPerGroup = 1;
+  c.protocol = ProtocolKind::kA2;
+  c.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
+  Experiment ex(c);
+  core::WorkloadSpec spec;
+  spec.count = 5;
+  spec.destGroups = 1;  // ignored for broadcast
+  scheduleWorkload(ex, spec);
+  auto r = ex.run(600 * kSec);
+  for (const auto& cst : r.trace.casts) EXPECT_EQ(cst.dest.size(), 3);
+}
+
+TEST(ExperimentApi, RunMoreAccumulates) {
+  RunConfig c;
+  c.groups = 2;
+  c.procsPerGroup = 2;
+  c.protocol = ProtocolKind::kA2;
+  c.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
+  Experiment ex(c);
+  ex.castAllAt(kMs, 0, "a");
+  auto r1 = ex.run(5 * kSec);
+  EXPECT_EQ(r1.trace.casts.size(), 1u);
+  ex.castAllAt(6 * kSec, 1, "b");
+  auto r2 = ex.runMore(20 * kSec);
+  EXPECT_EQ(r2.trace.casts.size(), 2u);
+  EXPECT_EQ(r2.trace.deliveries.size(), 8u);
+}
+
+TEST(ExperimentApi, ProtocolNamesAreUnique) {
+  std::set<std::string> names;
+  for (auto kind :
+       {ProtocolKind::kA1, ProtocolKind::kFritzke98,
+        ProtocolKind::kDelporte00, ProtocolKind::kRodrigues98,
+        ProtocolKind::kViaBcast, ProtocolKind::kSkeen87, ProtocolKind::kA2,
+        ProtocolKind::kSousa02, ProtocolKind::kVicente02,
+        ProtocolKind::kDetMerge00})
+    names.insert(core::protocolName(kind));
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(ExperimentApi, CrashedSetReflectedInResult) {
+  RunConfig c;
+  c.groups = 2;
+  c.procsPerGroup = 2;
+  c.protocol = ProtocolKind::kA2;
+  Experiment ex(c);
+  ex.crashAt(3, 10 * kMs);
+  auto r = ex.run(kSec);
+  EXPECT_EQ(r.correct, (std::set<ProcessId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace wanmc

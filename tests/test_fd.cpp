@@ -1,0 +1,106 @@
+// Unit tests for the failure detectors.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fd/failure_detector.hpp"
+#include "sim/runtime.hpp"
+
+namespace wanmc {
+namespace {
+
+class FdHost final : public sim::Node {
+ public:
+  FdHost(sim::Runtime& rt, ProcessId pid, fd::FdKind kind,
+         SimTime oracleDelay, fd::HeartbeatFd::Params hb)
+      : sim::Node(rt, pid) {
+    det = fd::makeFd(kind, rt, pid, rt.topology().members(gid()),
+                     oracleDelay, hb);
+    det->onSuspicion([this](ProcessId p) { suspicions.push_back(p); });
+  }
+  void onStart() override { det->start(); }
+  void onMessage(ProcessId from, const PayloadPtr& p) override {
+    det->onMessage(from, *p);
+  }
+  std::unique_ptr<fd::FailureDetector> det;
+  std::vector<ProcessId> suspicions;
+};
+
+struct Fixture {
+  Fixture(int procs, fd::FdKind kind, SimTime oracleDelay = 0,
+          fd::HeartbeatFd::Params hb = {})
+      : rt(Topology(1, procs), sim::LatencyModel::fixed(kMs, 100 * kMs), 1) {
+    for (ProcessId p = 0; p < procs; ++p) {
+      auto n = std::make_unique<FdHost>(rt, p, kind, oracleDelay, hb);
+      hosts.push_back(n.get());
+      rt.attach(p, std::move(n));
+    }
+    rt.start();
+  }
+  sim::Runtime rt;
+  std::vector<FdHost*> hosts;
+};
+
+TEST(OracleFd, NoSuspicionWithoutCrash) {
+  Fixture f(3, fd::FdKind::kOracle);
+  f.rt.run(kSec);
+  for (auto* h : f.hosts) {
+    EXPECT_TRUE(h->suspicions.empty());
+    for (ProcessId p = 0; p < 3; ++p) EXPECT_FALSE(h->det->suspects(p));
+  }
+}
+
+TEST(OracleFd, SuspectsAfterCrashImmediately) {
+  Fixture f(3, fd::FdKind::kOracle, /*oracleDelay=*/0);
+  f.rt.crash(1);
+  f.rt.run(kSec);
+  EXPECT_TRUE(f.hosts[0]->det->suspects(1));
+  EXPECT_TRUE(f.hosts[2]->det->suspects(1));
+  EXPECT_EQ(f.hosts[0]->suspicions, std::vector<ProcessId>{1});
+}
+
+TEST(OracleFd, DetectionDelayIsHonored) {
+  Fixture f(2, fd::FdKind::kOracle, /*oracleDelay=*/50 * kMs);
+  f.rt.scheduleCrash(1, 10 * kMs);
+  f.rt.run(30 * kMs);
+  EXPECT_FALSE(f.hosts[0]->det->suspects(1));
+  f.rt.run(200 * kMs);
+  EXPECT_TRUE(f.hosts[0]->det->suspects(1));
+}
+
+TEST(OracleFd, SendsNoMessages) {
+  Fixture f(3, fd::FdKind::kOracle);
+  f.rt.crash(2);
+  f.rt.run(kSec);
+  EXPECT_EQ(f.rt.traffic().at(Layer::kFailureDetector).total(), 0u);
+}
+
+TEST(HeartbeatFd, NoFalseSuspicionInQuietSystem) {
+  fd::HeartbeatFd::Params hb{20 * kMs, 80 * kMs};
+  Fixture f(3, fd::FdKind::kHeartbeat, 0, hb);
+  f.rt.run(2 * kSec);
+  for (auto* h : f.hosts) EXPECT_TRUE(h->suspicions.empty());
+}
+
+TEST(HeartbeatFd, DetectsCrashWithinTimeout) {
+  fd::HeartbeatFd::Params hb{20 * kMs, 80 * kMs};
+  Fixture f(3, fd::FdKind::kHeartbeat, 0, hb);
+  f.rt.scheduleCrash(1, 500 * kMs);
+  f.rt.run(2 * kSec);
+  EXPECT_TRUE(f.hosts[0]->det->suspects(1));
+  EXPECT_TRUE(f.hosts[2]->det->suspects(1));
+  EXPECT_FALSE(f.hosts[0]->det->suspects(2));
+}
+
+TEST(HeartbeatFd, GeneratesPeriodicTraffic) {
+  fd::HeartbeatFd::Params hb{20 * kMs, 80 * kMs};
+  Fixture f(2, fd::FdKind::kHeartbeat, 0, hb);
+  f.rt.run(kSec);
+  // ~50 ticks x 2 processes x 1 peer each.
+  const auto total = f.rt.traffic().at(Layer::kFailureDetector).total();
+  EXPECT_GT(total, 80u);
+  EXPECT_LT(total, 120u);
+}
+
+}  // namespace
+}  // namespace wanmc

@@ -1,0 +1,181 @@
+// Tests for the verify layer itself: each checker must catch planted
+// violations and accept clean traces.
+#include <gtest/gtest.h>
+
+#include "verify/properties.hpp"
+
+namespace wanmc {
+namespace {
+
+struct Builder {
+  Topology topo{2, 2};
+  RunTrace trace;
+  std::set<ProcessId> correct{0, 1, 2, 3};
+
+  void cast(MsgId id, ProcessId sender, GroupSet dest, uint64_t lamport = 0,
+            SimTime when = 0) {
+    trace.casts.push_back(CastEvent{sender, id, dest, lamport, when});
+    trace.destOf[id] = dest;
+    trace.senderOf[id] = sender;
+  }
+  void deliver(ProcessId p, MsgId id, uint64_t lamport = 0,
+               SimTime when = 0) {
+    trace.deliveries.push_back(DeliveryEvent{
+        p, id, lamport, when,
+        static_cast<uint64_t>(trace.deliveries.size())});
+  }
+  [[nodiscard]] verify::CheckContext ctx() const {
+    return verify::CheckContext{&trace, &topo, correct};
+  }
+};
+
+TEST(Integrity, AcceptsCleanTrace) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0, 1}));
+  for (ProcessId p = 0; p < 4; ++p) b.deliver(p, 1);
+  EXPECT_TRUE(verify::checkUniformIntegrity(b.ctx()).empty());
+}
+
+TEST(Integrity, CatchesDuplicateDelivery) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0}));
+  b.deliver(0, 1);
+  b.deliver(0, 1);
+  EXPECT_FALSE(verify::checkUniformIntegrity(b.ctx()).empty());
+}
+
+TEST(Integrity, CatchesDeliveryWithoutCast) {
+  Builder b;
+  b.deliver(0, 99);
+  EXPECT_FALSE(verify::checkUniformIntegrity(b.ctx()).empty());
+}
+
+TEST(Integrity, CatchesNonAddresseeDelivery) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0}));
+  b.deliver(2, 1);  // p2 is in group 1
+  EXPECT_FALSE(verify::checkUniformIntegrity(b.ctx()).empty());
+}
+
+TEST(Validity, CatchesMissingDeliveryAtCorrectAddressee) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0, 1}));
+  b.deliver(0, 1);
+  b.deliver(1, 1);
+  b.deliver(2, 1);  // p3 never delivers
+  auto v = verify::checkValidity(b.ctx());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("p3"), std::string::npos);
+}
+
+TEST(Validity, FaultySenderCreatesNoObligation) {
+  Builder b;
+  b.correct = {1, 2, 3};
+  b.cast(1, 0, GroupSet::of({0, 1}));  // sender p0 crashed
+  EXPECT_TRUE(verify::checkValidity(b.ctx()).empty());
+}
+
+TEST(Validity, FaultyAddresseeCreatesNoObligation) {
+  Builder b;
+  b.correct = {0, 1, 2};
+  b.cast(1, 0, GroupSet::of({0, 1}));
+  b.deliver(0, 1);
+  b.deliver(1, 1);
+  b.deliver(2, 1);
+  EXPECT_TRUE(verify::checkValidity(b.ctx()).empty());
+}
+
+TEST(UniformAgreement, FaultyDeliveryCreatesObligation) {
+  Builder b;
+  b.correct = {1, 2, 3};
+  b.cast(1, 0, GroupSet::of({0, 1}));
+  b.deliver(0, 1);  // p0 delivered then crashed
+  auto v = verify::checkUniformAgreement(b.ctx());
+  EXPECT_FALSE(v.empty());
+}
+
+TEST(NonUniformAgreement, FaultyDeliveryCreatesNoObligation) {
+  Builder b;
+  b.correct = {1, 2, 3};
+  b.cast(1, 0, GroupSet::of({0, 1}));
+  b.deliver(0, 1);  // p0 delivered then crashed
+  EXPECT_TRUE(verify::checkAgreementCorrectOnly(b.ctx()).empty());
+}
+
+TEST(PrefixOrder, AcceptsConsistentProjections) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0, 1}));
+  b.cast(2, 2, GroupSet::of({0, 1}));
+  for (ProcessId p = 0; p < 4; ++p) {
+    b.deliver(p, 1);
+    b.deliver(p, 2);
+  }
+  EXPECT_TRUE(verify::checkUniformPrefixOrder(b.ctx()).empty());
+}
+
+TEST(PrefixOrder, AcceptsPrefix) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0, 1}));
+  b.cast(2, 2, GroupSet::of({0, 1}));
+  b.deliver(0, 1);
+  b.deliver(0, 2);
+  b.deliver(2, 1);  // p2 is behind but consistent
+  EXPECT_TRUE(verify::checkUniformPrefixOrder(b.ctx()).empty());
+}
+
+TEST(PrefixOrder, CatchesOrderInversion) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0, 1}));
+  b.cast(2, 2, GroupSet::of({0, 1}));
+  b.deliver(0, 1);
+  b.deliver(0, 2);
+  b.deliver(2, 2);
+  b.deliver(2, 1);  // inverted
+  EXPECT_FALSE(verify::checkUniformPrefixOrder(b.ctx()).empty());
+}
+
+TEST(PrefixOrder, ProjectionIgnoresNonSharedMessages) {
+  Builder b;
+  // m1 -> groups {0,1}; m2 -> group {0} only. p0's sequence (m2, m1) and
+  // p2's (m1) are consistent once projected on shared messages.
+  b.cast(1, 0, GroupSet::of({0, 1}));
+  b.cast(2, 0, GroupSet::of({0}));
+  b.deliver(0, 2);
+  b.deliver(0, 1);
+  b.deliver(2, 1);
+  EXPECT_TRUE(verify::checkUniformPrefixOrder(b.ctx()).empty());
+}
+
+TEST(Genuineness, FlagsOutsiderTraffic) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0}));
+  verify::GenuinenessInput in;
+  in.sentAlgorithmic = {0, 1, 2};  // p2 (group 1) has no business here
+  auto v = verify::checkGenuineness(b.ctx(), in);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("p2"), std::string::npos);
+}
+
+TEST(Genuineness, SenderOutsideDestIsAllowed) {
+  Builder b;
+  b.cast(1, 2, GroupSet::of({0}));  // p2 casts to a foreign group
+  verify::GenuinenessInput in;
+  in.sentAlgorithmic = {0, 1, 2};
+  in.receivedAlgorithmic = {0, 1};
+  EXPECT_TRUE(verify::checkGenuineness(b.ctx(), in).empty());
+}
+
+TEST(Quiescence, AcceptsPromptSettle) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0}), 0, 1000);
+  EXPECT_TRUE(verify::checkQuiescence(b.ctx(), 2000, 5000).empty());
+}
+
+TEST(Quiescence, FlagsLateTraffic) {
+  Builder b;
+  b.cast(1, 0, GroupSet::of({0}), 0, 1000);
+  EXPECT_FALSE(verify::checkQuiescence(b.ctx(), 99000, 5000).empty());
+}
+
+}  // namespace
+}  // namespace wanmc

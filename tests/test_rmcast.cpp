@@ -1,0 +1,193 @@
+// Unit tests for reliable multicast (non-uniform and uniform variants).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rmcast/rmcast.hpp"
+#include "sim/runtime.hpp"
+
+namespace wanmc {
+namespace {
+
+using rmcast::RelayPolicy;
+using rmcast::ReliableMulticast;
+using rmcast::RmPayload;
+using rmcast::Uniformity;
+
+class RmHost final : public sim::Node {
+ public:
+  RmHost(sim::Runtime& rt, ProcessId pid, RelayPolicy relay,
+         Uniformity uniformity)
+      : sim::Node(rt, pid), rm(rt, pid, relay, uniformity) {
+    rm.onDeliver([this](const AppMsgPtr& m) { delivered.push_back(m->id); });
+  }
+  void onMessage(ProcessId from, const PayloadPtr& p) override {
+    rm.onMessage(from, static_cast<const RmPayload&>(*p));
+  }
+  ReliableMulticast rm;
+  std::vector<MsgId> delivered;
+};
+
+struct Fixture {
+  Fixture(int groups, int procs,
+          RelayPolicy relay = RelayPolicy::kIntraOnly,
+          Uniformity uni = Uniformity::kNonUniform, uint64_t seed = 1)
+      : rt(Topology(groups, procs),
+           sim::LatencyModel::fixed(kMs, 100 * kMs), seed) {
+    for (ProcessId p = 0; p < groups * procs; ++p) {
+      auto n = std::make_unique<RmHost>(rt, p, relay, uni);
+      hosts.push_back(n.get());
+      rt.attach(p, std::move(n));
+    }
+    rt.start();
+  }
+  sim::Runtime rt;
+  std::vector<RmHost*> hosts;
+};
+
+TEST(RMcastNonUniform, DeliversToAllAddressees) {
+  Fixture f(3, 2);
+  auto m = makeAppMessage(1, 0, GroupSet::of({0, 1}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  for (ProcessId p = 0; p < 4; ++p)
+    EXPECT_EQ(f.hosts[p]->delivered, std::vector<MsgId>{1}) << "p" << p;
+  // Group 2 is not an addressee.
+  EXPECT_TRUE(f.hosts[4]->delivered.empty());
+  EXPECT_TRUE(f.hosts[5]->delivered.empty());
+}
+
+TEST(RMcastNonUniform, SenderOutsideDestDoesNotDeliver) {
+  Fixture f(2, 2);
+  auto m = makeAppMessage(1, 0, GroupSet::of({1}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  EXPECT_TRUE(f.hosts[0]->delivered.empty());
+  EXPECT_EQ(f.hosts[2]->delivered, std::vector<MsgId>{1});
+  EXPECT_EQ(f.hosts[3]->delivered, std::vector<MsgId>{1});
+}
+
+TEST(RMcastNonUniform, NoDuplicateDeliveries) {
+  Fixture f(2, 3);
+  auto m = makeAppMessage(1, 0, GroupSet::of({0, 1}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  for (auto* h : f.hosts) EXPECT_LE(h->delivered.size(), 1u);
+}
+
+TEST(RMcastNonUniform, InterGroupMessageCountMatchesPaper) {
+  // [6]-style accounting: a multicast from p to k groups (p's group being
+  // one of them) costs d(k-1) inter-group messages.
+  const int d = 3, k = 3;
+  Fixture f(k, d);
+  auto m = makeAppMessage(1, 0, GroupSet::of({0, 1, 2}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  EXPECT_EQ(f.rt.traffic().at(Layer::kReliableMulticast).inter,
+            static_cast<uint64_t>(d * (k - 1)));
+}
+
+TEST(RMcastNonUniform, LatencyDegreeOne) {
+  // One inter-group delay from R-MCast to the last R-Deliver.
+  Fixture f(2, 2);
+  auto m = makeAppMessage(1, 0, GroupSet::of({0, 1}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  // All deliveries happened by one WAN delay (100ms) + relay slack.
+  EXPECT_LE(f.rt.now(), 102 * kMs);
+}
+
+TEST(RMcastNonUniform, ExplicitDestOverride) {
+  // A2's usage: R-MCast to the sender's own group although m.dest = Gamma.
+  Fixture f(2, 2);
+  auto m = makeAppMessage(1, 0, GroupSet::all(2));
+  f.hosts[0]->rm.rmcastTo(m, {0, 1});
+  f.rt.run();
+  EXPECT_EQ(f.hosts[0]->delivered, std::vector<MsgId>{1});
+  EXPECT_EQ(f.hosts[1]->delivered, std::vector<MsgId>{1});
+  EXPECT_TRUE(f.hosts[2]->delivered.empty());
+  EXPECT_TRUE(f.hosts[3]->delivered.empty());
+  EXPECT_EQ(f.rt.traffic().at(Layer::kReliableMulticast).inter, 0u);
+}
+
+TEST(RMcastNonUniform, IntraGroupAgreementUnderOmission) {
+  // Drop the sender's direct packet to p1; the intra-group relay from p2
+  // must still deliver m at p1 (agreement within the group).
+  Fixture f(2, 3);
+  f.rt.setDropFilter([](ProcessId from, ProcessId to, const Payload& p) {
+    const auto* rm = dynamic_cast<const RmPayload*>(&p);
+    return rm != nullptr && !rm->isRelay && from == 0 && to == 4;
+  });
+  auto m = makeAppMessage(1, 0, GroupSet::of({0, 1}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  EXPECT_EQ(f.hosts[4]->delivered, std::vector<MsgId>{1});
+}
+
+TEST(RMcastEager, CrossGroupAgreementWhenWholeGroupMissed) {
+  // Drop every direct packet to group 1; with eager relay, group 0's
+  // processes re-send to group 1, so agreement holds across groups.
+  Fixture f(2, 2, RelayPolicy::kEager);
+  f.rt.setDropFilter([&f](ProcessId from, ProcessId to, const Payload& p) {
+    const auto* rm = dynamic_cast<const RmPayload*>(&p);
+    return rm != nullptr && !rm->isRelay && from == 0 &&
+           f.rt.topology().group(to) == 1;
+  });
+  auto m = makeAppMessage(1, 0, GroupSet::of({0, 1}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  EXPECT_EQ(f.hosts[2]->delivered, std::vector<MsgId>{1});
+  EXPECT_EQ(f.hosts[3]->delivered, std::vector<MsgId>{1});
+}
+
+TEST(RMcastUniform, DeliversAfterMajorityCopies) {
+  Fixture f(2, 3, RelayPolicy::kEager, Uniformity::kUniform);
+  auto m = makeAppMessage(1, 0, GroupSet::of({0, 1}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  for (ProcessId p = 0; p < 6; ++p)
+    EXPECT_EQ(f.hosts[p]->delivered, std::vector<MsgId>{1}) << "p" << p;
+}
+
+TEST(RMcastUniform, StillLatencyDegreeOne) {
+  // The majority copies are intra-group: uniformity does not add an
+  // inter-group delay (matches the paper's degree-1 accounting for [6]).
+  // Note: eager relays keep flying after the last delivery, so we check
+  // delivery times, not when the event queue drains.
+  Fixture f(2, 3, RelayPolicy::kEager, Uniformity::kUniform);
+  std::vector<SimTime> deliveredAt(6, -1);
+  for (ProcessId p = 0; p < 6; ++p)
+    f.hosts[p]->rm.onDeliver([&, p](const AppMsgPtr&) {
+      deliveredAt[static_cast<size_t>(p)] = f.rt.now();
+    });
+  auto m = makeAppMessage(1, 0, GroupSet::of({0, 1}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  for (ProcessId p = 0; p < 6; ++p) {
+    ASSERT_GE(deliveredAt[static_cast<size_t>(p)], 0) << "p" << p;
+    EXPECT_LE(deliveredAt[static_cast<size_t>(p)], 104 * kMs) << "p" << p;
+  }
+}
+
+TEST(RMcastUniform, SingleProcessGroups) {
+  Fixture f(3, 1, RelayPolicy::kEager, Uniformity::kUniform);
+  auto m = makeAppMessage(1, 0, GroupSet::of({0, 1, 2}));
+  f.hosts[0]->rm.rmcast(m);
+  f.rt.run();
+  for (ProcessId p = 0; p < 3; ++p)
+    EXPECT_EQ(f.hosts[p]->delivered, std::vector<MsgId>{1});
+}
+
+TEST(RMcast, ManyMessagesAllDelivered) {
+  Fixture f(3, 2);
+  for (MsgId i = 1; i <= 50; ++i) {
+    auto m = makeAppMessage(i, static_cast<ProcessId>(i % 6),
+                            GroupSet::of({0, 1, 2}));
+    f.hosts[static_cast<size_t>(i % 6)]->rm.rmcast(m);
+  }
+  f.rt.run();
+  for (auto* h : f.hosts) EXPECT_EQ(h->delivered.size(), 50u);
+}
+
+}  // namespace
+}  // namespace wanmc

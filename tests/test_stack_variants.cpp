@@ -1,0 +1,252 @@
+// Stack-variant matrix tests: the core algorithms must be correct over
+// EVERY substrate combination — both consensus implementations (early
+// deciding and classic Chandra-Toueg) and both failure detectors (oracle
+// and heartbeat), on regular and ragged topologies, and with every A2
+// quiescence predictor.
+#include <gtest/gtest.h>
+
+#include "abcast/a2_node.hpp"
+#include "core/experiment.hpp"
+
+namespace wanmc {
+namespace {
+
+using core::Experiment;
+using core::ProtocolKind;
+using core::RunConfig;
+
+struct Variant {
+  ProtocolKind protocol;
+  consensus::ConsensusKind consensusKind;
+  fd::FdKind fdKind;
+};
+
+class StackMatrix : public ::testing::TestWithParam<Variant> {};
+
+RunConfig makeCfg(const Variant& v, int groups, int procs, uint64_t seed) {
+  RunConfig c;
+  c.groups = groups;
+  c.procsPerGroup = procs;
+  c.seed = seed;
+  c.protocol = v.protocol;
+  c.latency = sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs};
+  c.stack.consensusKind = v.consensusKind;
+  c.stack.fdKind = v.fdKind;
+  c.stack.fdHeartbeat = fd::HeartbeatFd::Params{20 * kMs, 100 * kMs};
+  return c;
+}
+
+TEST_P(StackMatrix, FailureFreeWorkloadSafeAndComplete) {
+  auto v = GetParam();
+  Experiment ex(makeCfg(v, 3, 2, 5));
+  core::WorkloadSpec spec;
+  spec.count = 10;
+  spec.interval = 60 * kMs;
+  spec.destGroups = 2;
+  scheduleWorkload(ex, spec);
+  auto r = ex.run(120 * kSec);  // heartbeat FD never quiesces: bounded run
+  auto errs = r.checkAtomicSuite();
+  EXPECT_TRUE(errs.empty()) << errs[0];
+  EXPECT_EQ(r.trace.casts.size(), 10u);
+  // Every cast message was delivered by all its addressees.
+  for (const auto& c : r.trace.casts) {
+    size_t expected = 0;
+    for (ProcessId p : r.topo.allProcesses())
+      if (c.dest.contains(r.topo.group(p))) ++expected;
+    size_t got = 0;
+    for (const auto& d : r.trace.deliveries)
+      if (d.msg == c.msg) ++got;
+    EXPECT_EQ(got, expected) << "m" << c.msg;
+  }
+}
+
+TEST_P(StackMatrix, SurvivesMinorityCrash) {
+  auto v = GetParam();
+  Experiment ex(makeCfg(v, 2, 3, 6));
+  ex.crashAt(1, 100 * kMs);
+  ex.crashAt(5, 200 * kMs);
+  core::WorkloadSpec spec;
+  spec.count = 8;
+  spec.interval = 90 * kMs;
+  spec.destGroups = 2;
+  scheduleWorkload(ex, spec);
+  auto r = ex.run(200 * kSec);
+  auto ctx = r.checkContext();
+  for (auto&& e : verify::checkUniformIntegrity(ctx)) ADD_FAILURE() << e;
+  for (auto&& e : verify::checkValidity(ctx)) ADD_FAILURE() << e;
+  for (auto&& e : verify::checkUniformAgreement(ctx)) ADD_FAILURE() << e;
+  for (auto&& e : verify::checkUniformPrefixOrder(ctx)) ADD_FAILURE() << e;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StackMatrix,
+    ::testing::Values(
+        Variant{ProtocolKind::kA1, consensus::ConsensusKind::kEarly,
+                fd::FdKind::kOracle},
+        Variant{ProtocolKind::kA1, consensus::ConsensusKind::kCt,
+                fd::FdKind::kOracle},
+        Variant{ProtocolKind::kA1, consensus::ConsensusKind::kEarly,
+                fd::FdKind::kHeartbeat},
+        Variant{ProtocolKind::kA1, consensus::ConsensusKind::kCt,
+                fd::FdKind::kHeartbeat},
+        Variant{ProtocolKind::kA2, consensus::ConsensusKind::kEarly,
+                fd::FdKind::kOracle},
+        Variant{ProtocolKind::kA2, consensus::ConsensusKind::kCt,
+                fd::FdKind::kOracle},
+        Variant{ProtocolKind::kA2, consensus::ConsensusKind::kEarly,
+                fd::FdKind::kHeartbeat},
+        Variant{ProtocolKind::kA2, consensus::ConsensusKind::kCt,
+                fd::FdKind::kHeartbeat}),
+    [](const auto& info) {
+      const Variant& v = info.param;
+      std::string name =
+          v.protocol == ProtocolKind::kA1 ? "A1" : "A2";
+      name += v.consensusKind == consensus::ConsensusKind::kEarly ? "_Early"
+                                                                  : "_CT";
+      name += v.fdKind == fd::FdKind::kOracle ? "_Oracle" : "_Heartbeat";
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Ragged topologies.
+// ---------------------------------------------------------------------------
+
+TEST(RaggedTopology, A1AcrossUnevenGroups) {
+  RunConfig c;
+  c.groupSizes = {1, 3, 2};
+  c.protocol = ProtocolKind::kA1;
+  c.latency = sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs};
+  Experiment ex(c);
+  ex.castAt(kMs, 0, GroupSet::of({0, 1}), "a");   // 1-proc group to 3-proc
+  ex.castAt(50 * kMs, 1, GroupSet::of({1, 2}), "b");
+  ex.castAt(90 * kMs, 5, GroupSet::of({0, 1, 2}), "c");
+  auto r = ex.run(600 * kSec);
+  auto v = r.checkAtomicSuite();
+  EXPECT_TRUE(v.empty()) << v[0];
+  EXPECT_EQ(r.topo.numProcesses(), 6);
+  EXPECT_EQ(r.topo.groupSize(1), 3);
+}
+
+TEST(RaggedTopology, A2AcrossUnevenGroups) {
+  RunConfig c;
+  c.groupSizes = {2, 1, 3};
+  c.protocol = ProtocolKind::kA2;
+  c.latency = sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs};
+  Experiment ex(c);
+  for (int i = 0; i < 6; ++i)
+    ex.castAllAt(kMs + i * 80 * kMs, static_cast<ProcessId>(i), "x");
+  auto r = ex.run(600 * kSec);
+  auto v = r.checkAtomicSuite();
+  EXPECT_TRUE(v.empty()) << v[0];
+  EXPECT_EQ(r.trace.deliveries.size(), 6u * 6u);
+}
+
+TEST(RaggedTopology, CrashInSingletonGroupBlocksOnlyLiveness) {
+  // With a singleton group crashed, no multicast addressed to it can be
+  // delivered (no correct process there — outside the paper's assumption),
+  // but messages among the other groups still flow.
+  RunConfig c;
+  c.groupSizes = {1, 2, 2};
+  c.protocol = ProtocolKind::kA1;
+  c.latency = sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs};
+  Experiment ex(c);
+  ex.crashAt(0, 10 * kMs);
+  ex.castAt(100 * kMs, 1, GroupSet::of({1, 2}), "ok");
+  auto r = ex.run(60 * kSec);
+  auto ctx = r.checkContext();
+  for (auto&& e : verify::checkUniformIntegrity(ctx)) ADD_FAILURE() << e;
+  for (auto&& e : verify::checkValidity(ctx)) ADD_FAILURE() << e;
+  EXPECT_EQ(r.trace.deliveries.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// A2 quiescence predictors (§5.3 extension).
+// ---------------------------------------------------------------------------
+
+RunConfig a2Cfg(abcast::A2Options::Predictor pred, uint64_t seed = 1) {
+  RunConfig c;
+  c.groups = 2;
+  c.procsPerGroup = 2;
+  c.seed = seed;
+  c.protocol = ProtocolKind::kA2;
+  c.latency = sim::LatencyModel::fixed(kMs / 10, 100 * kMs);
+  c.a2.predictor = pred;
+  return c;
+}
+
+TEST(A2Predictors, LingerKeepsRoundsAliveThroughShortGaps) {
+  // Two messages separated by a gap longer than a round but shorter than
+  // the linger horizon: with the default predictor the second pays the
+  // Theorem-5.2 cold start (~2 WAN delays of wall latency); with linger it
+  // rides a still-running round and commits ~one WAN delay sooner. (The
+  // lingering rounds keep ticking the Lamport clocks, so the benefit shows
+  // in wall latency, not in the Lamport span.)
+  auto runWith = [](abcast::A2Options::Predictor pred) {
+    auto c = a2Cfg(pred);
+    c.a2.lingerRounds = 8;
+    Experiment ex(c);
+    ex.castAllAt(kMs, 0, "a");
+    auto id = ex.castAllAt(900 * kMs, 2, "b");
+    auto r = ex.run(600 * kSec);
+    EXPECT_TRUE(r.checkAtomicSuite().empty());
+    return std::pair(*r.trace.latencyDegree(id),
+                     *r.trace.wallLatency(id));
+  };
+  auto [coldDeg, coldWall] = runWith(abcast::A2Options::Predictor::kRoundEmpty);
+  auto [lingerDeg, lingerWall] = runWith(abcast::A2Options::Predictor::kLinger);
+  EXPECT_EQ(coldDeg, 2);
+  EXPECT_GE(coldWall, 200 * kMs);        // restart: two WAN delays
+  EXPECT_LT(lingerWall, 180 * kMs);      // warm round: roughly one
+  (void)lingerDeg;
+}
+
+TEST(A2Predictors, LingerEventuallyStops) {
+  auto c = a2Cfg(abcast::A2Options::Predictor::kLinger);
+  c.a2.lingerRounds = 3;
+  Experiment ex(c);
+  ex.castAllAt(kMs, 0, "a");
+  auto r = ex.run(600 * kSec);
+  // Quiescence still holds — just later (3 extra empty rounds ~ 3 WAN
+  // round trips).
+  auto v = verify::checkQuiescence(r.checkContext(), r.lastAlgoSend,
+                                   5 * kSec);
+  EXPECT_TRUE(v.empty()) << v[0];
+  auto& n0 = dynamic_cast<abcast::A2Node&>(ex.node(0));
+  EXPECT_GE(n0.roundsExecuted(), 3u);
+}
+
+TEST(A2Predictors, RateAdaptiveStopsAfterStreamEnds) {
+  auto c = a2Cfg(abcast::A2Options::Predictor::kRateAdaptive);
+  c.a2.rateMultiplier = 3.0;
+  Experiment ex(c);
+  for (int i = 0; i < 10; ++i)
+    ex.castAllAt(kMs + i * 50 * kMs, static_cast<ProcessId>(i % 4), "x");
+  auto r = ex.run(600 * kSec);
+  EXPECT_TRUE(r.checkAtomicSuite().empty());
+  // With ~50ms inter-arrivals and multiplier 3, rounds stop within ~150ms
+  // plus one round after the last arrival: comfortably under 5s.
+  auto v = verify::checkQuiescence(r.checkContext(), r.lastAlgoSend,
+                                   5 * kSec);
+  EXPECT_TRUE(v.empty()) << v[0];
+}
+
+TEST(A2Predictors, AllPredictorsPreserveSafety) {
+  for (auto pred : {abcast::A2Options::Predictor::kRoundEmpty,
+                    abcast::A2Options::Predictor::kLinger,
+                    abcast::A2Options::Predictor::kRateAdaptive}) {
+    auto c = a2Cfg(pred, 9);
+    c.latency = sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs};
+    Experiment ex(c);
+    core::WorkloadSpec spec;
+    spec.count = 12;
+    spec.interval = 120 * kMs;  // gaps straddle the round time
+    scheduleWorkload(ex, spec);
+    auto r = ex.run(600 * kSec);
+    auto v = r.checkAtomicSuite();
+    EXPECT_TRUE(v.empty()) << v[0];
+    EXPECT_EQ(r.trace.deliveries.size(), 12u * 4u);
+  }
+}
+
+}  // namespace
+}  // namespace wanmc
