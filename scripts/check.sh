@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Convenience wrapper around the tier-1 verify command:
+#   scripts/check.sh            configure + build + full ctest
+#   scripts/check.sh unit       ... only the fast unit tier
+#   scripts/check.sh scenario   ... only the seed-sweep / matrix tier
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIER="${1:-all}"
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+case "$TIER" in
+  all)      ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" ;;
+  unit)     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L unit ;;
+  scenario) ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L scenario ;;
+  *)
+    echo "usage: $0 [all|unit|scenario]" >&2
+    exit 2
+    ;;
+esac

@@ -7,7 +7,17 @@ namespace wanmc::amcast {
 
 RodriguesNode::RodriguesNode(sim::Runtime& rt, ProcessId pid,
                              const core::StackConfig& cfg)
-    : core::XcastNode(rt, pid, cfg) {}
+    : core::XcastNode(rt, pid, cfg) {
+  // A crash can be the event that completes a vote quorum: maybePropose
+  // waits for every unsuspected destination process, so a new suspicion
+  // must re-evaluate every pending message or the survivors hang.
+  fd().onSuspicion([this](ProcessId) {
+    std::vector<MsgId> ids;
+    ids.reserve(pending_.size());
+    for (const auto& [id, p] : pending_) ids.push_back(id);
+    for (MsgId id : ids) maybePropose(id);
+  });
+}
 
 void RodriguesNode::xcast(const AppMsgPtr& m) {
   assert(!m->dest.empty());

@@ -1,0 +1,428 @@
+#include "testing/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace wanmc::testing {
+
+// ---------------------------------------------------------------------------
+// Latency presets.
+// ---------------------------------------------------------------------------
+
+sim::LatencyModel latencyModelFor(LatencyPreset p) {
+  switch (p) {
+    case LatencyPreset::kLan:
+      return sim::LatencyModel{kMs, 2 * kMs, kMs, 2 * kMs};
+    case LatencyPreset::kWan:
+      return sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs};
+    case LatencyPreset::kWanFixed:
+      return sim::LatencyModel::fixed(kMs / 10, 100 * kMs);
+    case LatencyPreset::kMixed:
+      return sim::LatencyModel{kMs, 2 * kMs, 20 * kMs, 80 * kMs};
+  }
+  return sim::LatencyModel{};
+}
+
+const char* latencyPresetName(LatencyPreset p) {
+  switch (p) {
+    case LatencyPreset::kLan: return "lan";
+    case LatencyPreset::kWan: return "wan";
+    case LatencyPreset::kWanFixed: return "wan-fixed";
+    case LatencyPreset::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Fault scripts.
+// ---------------------------------------------------------------------------
+
+std::vector<CrashSpec> materializeCrashes(const Topology& topo,
+                                          const RandomCrashes& plan,
+                                          uint64_t seed) {
+  std::vector<CrashSpec> out;
+  SplitMix64 rng(SplitMix64(seed).fork(plan.salt).next());
+  for (GroupId g = 0; g < topo.numGroups(); ++g) {
+    const auto members = topo.members(g);
+    // Strict minority: consensus inside the group must stay solvable.
+    const int maxFaulty = (static_cast<int>(members.size()) - 1) / 2;
+    const int victims = std::min(plan.perGroup, maxFaulty);
+    std::vector<ProcessId> pool = members;
+    for (int i = 0; i < victims; ++i) {
+      const auto idx = static_cast<size_t>(rng.next() % pool.size());
+      const ProcessId victim = pool[idx];
+      pool.erase(pool.begin() + static_cast<ptrdiff_t>(idx));
+      out.push_back(CrashSpec{
+          victim, rng.uniform(plan.earliest, std::max(plan.earliest,
+                                                      plan.latest))});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// A deterministic per-rule coin: the k-th matching packet of a rule is
+// dropped iff hash(seed, salt, k) < probability. The simulator processes
+// packets in a deterministic order, so the whole filter is reproducible.
+class DropEngine {
+ public:
+  DropEngine(std::vector<DropSpec> specs, const Topology& topo,
+             uint64_t seed)
+      : specs_(std::move(specs)), topo_(&topo) {
+    for (const auto& s : specs_)
+      coins_.emplace_back(SplitMix64(seed).fork(s.salt).next());
+  }
+
+  bool operator()(ProcessId from, ProcessId to, const Payload& p,
+                  SimTime now) {
+    bool drop = false;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      const DropSpec& s = specs_[i];
+      if (s.layer && p.layer() != *s.layer) continue;
+      if (s.from != kNoProcess && from != s.from) continue;
+      if (s.to != kNoProcess && to != s.to) continue;
+      if (s.fromGroup != kNoGroup && topo_->group(from) != s.fromGroup)
+        continue;
+      if (s.toGroup != kNoGroup && topo_->group(to) != s.toGroup) continue;
+      if (s.interGroupOnly && topo_->sameGroup(from, to)) continue;
+      if (now < s.activeFrom || now >= s.activeUntil) continue;
+      // Matching rules consume their coin even if an earlier rule already
+      // dropped the packet, so each rule's stream stays self-consistent.
+      if (s.probability >= 1.0 || coins_[i].uniform01() < s.probability)
+        drop = true;
+    }
+    return drop;
+  }
+
+ private:
+  std::vector<DropSpec> specs_;
+  const Topology* topo_;
+  std::vector<SplitMix64> coins_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Protocol traits and expectations.
+// ---------------------------------------------------------------------------
+
+ProtocolTraits traitsOf(core::ProtocolKind kind) {
+  using core::ProtocolKind;
+  ProtocolTraits t;
+  switch (kind) {
+    case ProtocolKind::kA1:
+    case ProtocolKind::kFritzke98:
+    case ProtocolKind::kDelporte00:
+    case ProtocolKind::kRodrigues98:
+      break;  // crash-tolerant, uniform, genuine
+    case ProtocolKind::kSkeen87:
+      t.toleratesCrashes = false;  // [2] assumes a failure-free system
+      break;
+    case ProtocolKind::kViaBcast:
+    case ProtocolKind::kA2:
+    case ProtocolKind::kVicente02:
+      t.genuine = false;  // broadcast-based: every process participates
+      break;
+    case ProtocolKind::kSousa02:
+      t.genuine = false;
+      t.uniform = false;  // optimistic, non-uniform by design [12]
+      break;
+    case ProtocolKind::kDetMerge00:
+      // [1]'s merge needs every publisher's frontier to advance: a crashed
+      // publisher stalls delivery, so crash scenarios are out of scope.
+      t.toleratesCrashes = false;
+      t.genuine = false;
+      break;
+  }
+  return t;
+}
+
+const char* protocolTestName(core::ProtocolKind kind) {
+  using core::ProtocolKind;
+  switch (kind) {
+    case ProtocolKind::kA1: return "A1";
+    case ProtocolKind::kFritzke98: return "Fritzke98";
+    case ProtocolKind::kDelporte00: return "Ring";
+    case ProtocolKind::kRodrigues98: return "Rodrigues98";
+    case ProtocolKind::kViaBcast: return "ViaBcast";
+    case ProtocolKind::kSkeen87: return "Skeen87";
+    case ProtocolKind::kA2: return "A2";
+    case ProtocolKind::kSousa02: return "Sousa02";
+    case ProtocolKind::kVicente02: return "Vicente02";
+    case ProtocolKind::kDetMerge00: return "DetMerge00";
+  }
+  return "Unknown";
+}
+
+PropertyExpectations defaultExpectations(core::ProtocolKind kind,
+                                         bool anyCrashes, bool anyDrops) {
+  const ProtocolTraits t = traitsOf(kind);
+  PropertyExpectations e;
+  e.uniform = t.uniform;
+  // Arbitrary omission faults void the quasi-reliable-channel assumption:
+  // delivery obligations (validity/agreement) no longer bind, but safety
+  // (integrity + prefix order) must survive any loss pattern.
+  e.checkLiveness = !anyDrops;
+  // Genuineness only holds with its preconditions intact: a multicast
+  // protocol may legitimately contact extra groups while handling faults.
+  e.checkGenuineness = t.genuine && !anyCrashes && !anyDrops;
+  return e;
+}
+
+Scenario& Scenario::withDefaultExpectations() {
+  const bool anyCrashes =
+      !crashes.empty() ||
+      (randomCrashes.has_value() && randomCrashes->perGroup > 0);
+  expect = defaultExpectations(config.protocol, anyCrashes, !drops.empty());
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Checking and fingerprints.
+// ---------------------------------------------------------------------------
+
+verify::Violations checkExpectations(const core::RunResult& r,
+                                     const PropertyExpectations& exp) {
+  verify::Violations out;
+  auto append = [&out](verify::Violations v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  const auto ctx = r.checkContext();
+  append(verify::checkUniformIntegrity(ctx));
+  append(exp.uniform ? verify::checkUniformPrefixOrder(ctx)
+                     : verify::checkPrefixOrderCorrectOnly(ctx));
+  if (exp.checkLiveness) {
+    append(verify::checkValidity(ctx));
+    append(exp.uniform ? verify::checkUniformAgreement(ctx)
+                       : verify::checkAgreementCorrectOnly(ctx));
+  }
+  if (exp.checkGenuineness)
+    append(verify::checkGenuineness(ctx, r.genuineness));
+  if (exp.quiescenceBudget)
+    append(verify::checkQuiescence(ctx, r.lastAlgoSend,
+                                   *exp.quiescenceBudget));
+  if (r.trace.deliveries.size() < exp.minDeliveries) {
+    std::ostringstream os;
+    os << "stall: only " << r.trace.deliveries.size() << " deliveries, "
+       << "expected at least " << exp.minDeliveries;
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+std::string traceFingerprint(const core::RunResult& r) {
+  std::ostringstream os;
+  os << "topo n=" << r.topo.numProcesses() << " m=" << r.topo.numGroups();
+  for (GroupId g = 0; g < r.topo.numGroups(); ++g)
+    os << " " << r.topo.groupSize(g);
+  os << "\ncorrect";
+  for (ProcessId p : r.correct) os << " " << p;
+  os << "\n";
+  for (const auto& c : r.trace.casts)
+    os << "C p" << c.process << " m" << c.msg << " d" << c.dest.bits()
+       << " lc" << c.lamport << " t" << c.when << "\n";
+  for (const auto& d : r.trace.deliveries)
+    os << "D p" << d.process << " m" << d.msg << " lc" << d.lamport << " t"
+       << d.when << " o" << d.order << "\n";
+  for (int l = 0; l < 5; ++l) {
+    const auto& c = r.traffic.at(static_cast<Layer>(l));
+    os << "T " << layerName(static_cast<Layer>(l)) << " intra=" << c.intra
+       << " inter=" << c.inter << "\n";
+  }
+  os << "lastAlgoSend=" << r.lastAlgoSend << " end=" << r.endTime << "\n";
+  return os.str();
+}
+
+std::string ScenarioResult::report() const {
+  std::ostringstream os;
+  os << name << " (seed " << seed << "): " << violations.size()
+     << " violation(s)";
+  for (const auto& v : violations) os << "\n  " << v;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioRunner.
+// ---------------------------------------------------------------------------
+
+ScenarioResult ScenarioRunner::run() const {
+  const Scenario& s = scenario_;
+  core::RunConfig cfg = s.config;
+  if (s.latency) cfg.latency = latencyModelFor(*s.latency);
+
+  core::Experiment ex(cfg);
+  const Topology& topo = ex.runtime().topology();
+
+  ScenarioResult result;
+  result.name = s.name;
+  result.seed = cfg.seed;
+
+  // Fault script: scripted crashes verbatim, random crashes derived from
+  // the scenario seed.
+  result.effectiveCrashes = s.crashes;
+  if (s.randomCrashes) {
+    auto extra = materializeCrashes(topo, *s.randomCrashes, cfg.seed);
+    result.effectiveCrashes.insert(result.effectiveCrashes.end(),
+                                   extra.begin(), extra.end());
+  }
+  for (const auto& c : result.effectiveCrashes) ex.crashAt(c.pid, c.when);
+
+  if (!s.drops.empty()) {
+    // The engine lives in the filter closure; per-rule coin streams are
+    // seeded from the scenario seed, so reruns replay identical drops.
+    auto engine =
+        std::make_shared<DropEngine>(s.drops, topo, cfg.seed);
+    auto* rt = &ex.runtime();
+    ex.runtime().setDropFilter(
+        [engine, rt](ProcessId from, ProcessId to, const Payload& p) {
+          return (*engine)(from, to, p, rt->now());
+        });
+  }
+
+  // Workload: generated casts re-derive from the scenario seed so sweeps
+  // explore different sender/destination patterns per seed.
+  if (s.workload) {
+    core::WorkloadSpec spec = *s.workload;
+    spec.seed = SplitMix64(cfg.seed).fork(spec.seed).next();
+    scheduleWorkload(ex, spec);
+  }
+  for (const auto& c : s.casts) {
+    const GroupSet dest = c.dest.empty() ? topo.allGroups() : c.dest;
+    ex.castAt(c.when, c.sender, dest, c.body);
+  }
+
+  result.run = ex.run(s.runUntil);
+  result.violations = checkExpectations(result.run, s.expect);
+  result.fingerprint = traceFingerprint(result.run);
+  return result;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::sweepSeeds(uint64_t firstSeed,
+                                                       int count) const {
+  std::vector<ScenarioResult> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Scenario s = scenario_;
+    s.config.seed = firstSeed + static_cast<uint64_t>(i);
+    s.name = scenario_.name + "/seed" + std::to_string(s.config.seed);
+    out.push_back(ScenarioRunner(std::move(s)).run());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The standard fault matrix.
+// ---------------------------------------------------------------------------
+
+std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
+                                          const MatrixOptions& opt) {
+  const ProtocolTraits traits = traitsOf(kind);
+  const std::string base = core::protocolName(kind);
+
+  auto makeBase = [&](const char* tag, LatencyPreset latency) {
+    Scenario s;
+    s.name = base + "/" + tag + "/" + latencyPresetName(latency);
+    s.config.groups = opt.groups;
+    s.config.procsPerGroup = opt.procsPerGroup;
+    s.config.protocol = kind;
+    s.config.seed = opt.firstSeed;
+    s.latency = latency;
+    core::WorkloadSpec w;
+    w.count = opt.casts;
+    w.interval = opt.castInterval;
+    w.destGroups = std::min(2, opt.groups);
+    s.workload = w;
+    s.runUntil = 900 * kSec;
+    return s;
+  };
+
+  std::vector<Scenario> out;
+
+  // Failure-free cells: every latency preset.
+  for (LatencyPreset l :
+       {LatencyPreset::kLan, LatencyPreset::kWan, LatencyPreset::kMixed}) {
+    Scenario s = makeBase("ok", l);
+    s.withDefaultExpectations();
+    s.expect.minDeliveries = 1;
+    out.push_back(std::move(s));
+  }
+
+  if (traits.toleratesCrashes) {
+    // Random minority crashes per group, WAN and mixed jitter.
+    for (LatencyPreset l : {LatencyPreset::kWan, LatencyPreset::kMixed}) {
+      Scenario s = makeBase("crash-minority", l);
+      s.randomCrashes = RandomCrashes{1, 50 * kMs, kSec, 0xc4a5};
+      s.withDefaultExpectations();
+      out.push_back(std::move(s));
+    }
+    // Sender crashes right after its first cast (process 0 casts at t=1ms).
+    // Broadcast protocols address all groups (empty dest = all).
+    {
+      Scenario s = makeBase("crash-sender", LatencyPreset::kWan);
+      s.workload.reset();
+      const GroupSet dest = core::isBroadcastProtocol(kind)
+                                ? GroupSet{}
+                                : GroupSet::of({0, 1});
+      s.casts.push_back(ScheduledCast{kMs, 0, dest, "x"});
+      for (int i = 1; i < opt.casts; ++i)
+        s.casts.push_back(ScheduledCast{
+            kMs + i * opt.castInterval, 1, dest, "w" + std::to_string(i)});
+      s.crashes.push_back(CrashSpec{0, kMs + 1});
+      s.withDefaultExpectations();
+      out.push_back(std::move(s));
+    }
+  }
+
+  // Omission cells: safety must survive any loss pattern. Liveness checks
+  // are off (defaultExpectations) — lost packets legitimately stall runs.
+  {
+    Scenario s = makeBase("drop-protocol-lossy", LatencyPreset::kWan);
+    DropSpec d;
+    d.layer = Layer::kProtocol;
+    d.interGroupOnly = true;
+    d.probability = 0.3;
+    s.drops.push_back(d);
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s = makeBase("drop-window-blackout", LatencyPreset::kWan);
+    DropSpec d;  // total inter-group blackout for a WAN round-trip
+    d.interGroupOnly = true;
+    d.activeFrom = 150 * kMs;
+    d.activeUntil = 400 * kMs;
+    s.drops.push_back(d);
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+  if (traits.toleratesCrashes) {
+    // Crashes AND probabilistic loss together.
+    Scenario s = makeBase("crash-plus-drop", LatencyPreset::kMixed);
+    s.randomCrashes = RandomCrashes{1, 50 * kMs, kSec, 0xc4a5};
+    DropSpec d;
+    d.interGroupOnly = true;
+    d.probability = 0.15;
+    s.drops.push_back(d);
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+std::vector<ScenarioResult> runStandardMatrix(core::ProtocolKind kind,
+                                              const MatrixOptions& opt) {
+  std::vector<ScenarioResult> out;
+  for (const Scenario& s : standardFaultMatrix(kind, opt)) {
+    auto sweep = ScenarioRunner(s).sweepSeeds(opt.firstSeed,
+                                              opt.seedsPerCell);
+    out.insert(out.end(), std::make_move_iterator(sweep.begin()),
+               std::make_move_iterator(sweep.end()));
+  }
+  return out;
+}
+
+}  // namespace wanmc::testing

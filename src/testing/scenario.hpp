@@ -1,0 +1,214 @@
+// Deterministic fault-injection harness: ScenarioRunner.
+//
+// A Scenario is a declarative description of one simulated run — topology,
+// protocol, workload, scripted crash schedule, message-drop filters, and a
+// latency-model preset — plus the property suite the run must satisfy.
+// ScenarioRunner materializes the scenario into a core::Experiment, runs it,
+// checks every verify/properties invariant the scenario demands (validity,
+// uniform agreement, uniform integrity, prefix/total order, genuineness),
+// and returns the violations together with a canonical trace fingerprint.
+//
+// Everything is a pure function of the scenario seed: rerunning the same
+// scenario produces a byte-identical fingerprint, which is what makes crash
+// and omission bugs reproducible from a single uint64.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/message.hpp"
+#include "common/time.hpp"
+#include "core/experiment.hpp"
+#include "verify/properties.hpp"
+
+namespace wanmc::testing {
+
+// ---------------------------------------------------------------------------
+// Latency-model presets.
+// ---------------------------------------------------------------------------
+
+enum class LatencyPreset {
+  kLan,       // every link 1-2ms: a single site, inter ~= intra
+  kWan,       // the paper's WAN: 1-2ms intra, 95-110ms inter (jittered)
+  kWanFixed,  // jitter-free WAN (0.1ms / 100ms): theorem interleavings
+  kMixed,     // 1-2ms intra, 20-80ms inter: heavy jitter, adversarial
+};
+
+[[nodiscard]] sim::LatencyModel latencyModelFor(LatencyPreset p);
+[[nodiscard]] const char* latencyPresetName(LatencyPreset p);
+
+// ---------------------------------------------------------------------------
+// Fault scripts.
+// ---------------------------------------------------------------------------
+
+// Crash process `pid` at simulated time `when` (crash-stop).
+struct CrashSpec {
+  ProcessId pid = kNoProcess;
+  SimTime when = 0;
+};
+
+// Randomized crash plan, materialized deterministically from the scenario
+// seed: up to `perGroup` distinct victims per group, each at a time drawn
+// uniformly from [earliest, latest]. `perGroup` is clamped to a minority of
+// each group so consensus stays solvable (the paper's f < n_g/2 assumption).
+struct RandomCrashes {
+  int perGroup = 1;
+  SimTime earliest = 50 * kMs;
+  SimTime latest = kSec;
+  uint64_t salt = 0xc4a5;  // folded with the scenario seed
+};
+
+// Declarative message-drop rule. A packet is dropped when EVERY restriction
+// matches and the (deterministic) coin comes up under `probability`.
+// Unset fields match anything.
+struct DropSpec {
+  std::optional<Layer> layer;       // only packets of this layer
+  ProcessId from = kNoProcess;      // only packets sent by this process
+  ProcessId to = kNoProcess;        // only packets to this process
+  GroupId fromGroup = kNoGroup;     // only packets leaving this group
+  GroupId toGroup = kNoGroup;       // only packets entering this group
+  bool interGroupOnly = false;      // only packets crossing a group border
+  SimTime activeFrom = 0;           // drop window start (inclusive)
+  SimTime activeUntil = kTimeNever; // drop window end (exclusive)
+  double probability = 1.0;         // drop chance per matching packet
+  uint64_t salt = 0xd309;           // folded with the scenario seed
+};
+
+// Materialize a random crash plan against a topology. Exposed so tests can
+// assert schedule determinism directly.
+[[nodiscard]] std::vector<CrashSpec> materializeCrashes(
+    const Topology& topo, const RandomCrashes& plan, uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Property expectations.
+// ---------------------------------------------------------------------------
+
+// Which invariants a run must satisfy. Safety (integrity + prefix order) is
+// always checked; liveness obligations (validity + agreement) are optional
+// because arbitrary message loss legitimately voids them, and uniformity is
+// per-protocol (Sousa02 is non-uniform by design).
+struct PropertyExpectations {
+  bool uniform = true;          // uniform vs correct-only agreement & order
+  bool checkLiveness = true;    // validity + agreement delivery obligations
+  bool checkGenuineness = false;
+  std::optional<SimTime> quiescenceBudget;  // if set, check quiescence
+  size_t minDeliveries = 0;     // sanity floor: the run must not stall flat
+};
+
+// Per-protocol capabilities, used to pick sound expectations and to skip
+// scenarios a protocol was never designed for (Skeen87 is failure-free).
+struct ProtocolTraits {
+  bool toleratesCrashes = true;
+  bool uniform = true;    // uniform agreement under crashes
+  bool genuine = true;    // only sender+addressees participate
+};
+[[nodiscard]] ProtocolTraits traitsOf(core::ProtocolKind kind);
+
+// Short identifier-safe protocol name for parameterized gtest suites
+// (core::protocolName contains spaces/brackets, which gtest rejects).
+[[nodiscard]] const char* protocolTestName(core::ProtocolKind kind);
+
+// Sound default expectations for `kind` in a run with/without crashes/drops.
+[[nodiscard]] PropertyExpectations defaultExpectations(
+    core::ProtocolKind kind, bool anyCrashes, bool anyDrops);
+
+// ---------------------------------------------------------------------------
+// Scenario and runner.
+// ---------------------------------------------------------------------------
+
+// One cast scheduled verbatim (in addition to any generated workload).
+// An empty destination set means "all groups" (broadcast).
+struct ScheduledCast {
+  SimTime when = 0;
+  ProcessId sender = 0;
+  GroupSet dest{};
+  std::string body{};
+};
+
+struct Scenario {
+  std::string name = "scenario";
+  core::RunConfig config{};                 // protocol, topology, seed
+  std::optional<LatencyPreset> latency;     // overrides config.latency
+  std::optional<core::WorkloadSpec> workload;
+  std::vector<ScheduledCast> casts;
+  std::vector<CrashSpec> crashes;           // scripted crash schedule
+  std::optional<RandomCrashes> randomCrashes;  // + seed-derived crashes
+  std::vector<DropSpec> drops;
+  SimTime runUntil = 600 * kSec;
+  PropertyExpectations expect{};
+
+  // Derives expectations from traitsOf(config.protocol) and the fault
+  // script. Returns *this for chaining.
+  Scenario& withDefaultExpectations();
+};
+
+struct ScenarioResult {
+  std::string name;
+  uint64_t seed = 0;
+  core::RunResult run;
+  std::vector<CrashSpec> effectiveCrashes;  // scripted + materialized
+  verify::Violations violations;
+  std::string fingerprint;  // canonical trace serialization
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  // All violations joined, prefixed with the scenario name — for gtest.
+  [[nodiscard]] std::string report() const;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Scenario s) : scenario_(std::move(s)) {}
+
+  // Builds a fresh Experiment and runs the scenario to completion. Pure in
+  // the scenario: calling run() twice yields byte-identical fingerprints.
+  [[nodiscard]] ScenarioResult run() const;
+
+  // Reruns the scenario under `count` consecutive seeds starting at
+  // `firstSeed` (overriding config.seed; workload, random crashes, and
+  // probabilistic drops all re-derive from each seed).
+  [[nodiscard]] std::vector<ScenarioResult> sweepSeeds(uint64_t firstSeed,
+                                                       int count) const;
+
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+
+ private:
+  Scenario scenario_;
+};
+
+// Canonical serialization of a finished run: topology, crash set, every
+// cast and delivery with Lamport/wall stamps, per-layer traffic. Two runs
+// are behaviorally identical iff their fingerprints are byte-identical.
+[[nodiscard]] std::string traceFingerprint(const core::RunResult& r);
+
+// Checks `r` against `exp`; returns all violations found.
+[[nodiscard]] verify::Violations checkExpectations(
+    const core::RunResult& r, const PropertyExpectations& exp);
+
+// ---------------------------------------------------------------------------
+// The shared crash/drop/seed matrix every protocol stack is tested under.
+// ---------------------------------------------------------------------------
+
+struct MatrixOptions {
+  int groups = 3;
+  int procsPerGroup = 3;
+  int casts = 8;
+  SimTime castInterval = 70 * kMs;
+  int seedsPerCell = 2;     // seeds per (latency x fault) cell
+  uint64_t firstSeed = 1;
+};
+
+// Builds the standard scenario matrix for `kind`: failure-free LAN/WAN/
+// mixed runs, minority-crash runs, sender-crash runs, targeted and
+// probabilistic drop runs — each swept over seedsPerCell seeds, with
+// expectations derived from the protocol's traits. Scenarios a protocol
+// cannot meet (crashes for Skeen87) are omitted.
+[[nodiscard]] std::vector<Scenario> standardFaultMatrix(
+    core::ProtocolKind kind, const MatrixOptions& opt = {});
+
+// Runs the whole matrix and returns every result (one per scenario seed).
+[[nodiscard]] std::vector<ScenarioResult> runStandardMatrix(
+    core::ProtocolKind kind, const MatrixOptions& opt = {});
+
+}  // namespace wanmc::testing

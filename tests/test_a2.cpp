@@ -3,6 +3,7 @@
 
 #include "abcast/a2_node.hpp"
 #include "core/experiment.hpp"
+#include "testing/scenario.hpp"
 
 namespace wanmc {
 namespace {
@@ -168,6 +169,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3, 4),
                        ::testing::Values(1, 2, 3),
                        ::testing::Values(1, 2, 3)));
+
+// The shared crash/drop/seed matrix every stack runs under (ScenarioRunner).
+TEST(A2, StandardFaultMatrix) {
+  for (const auto& r :
+       wanmc::testing::runStandardMatrix(ProtocolKind::kA2))
+    EXPECT_TRUE(r.ok()) << r.report();
+}
 
 }  // namespace
 }  // namespace wanmc

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "testing/scenario.hpp"
 
 namespace wanmc {
 namespace {
@@ -153,44 +154,41 @@ TEST(ConsensusFailures, A1SurvivesCoordinatorCrashMidConsensus) {
   for (ProcessId p : r.correct) EXPECT_EQ(seqs[p].size(), 1u) << "p" << p;
 }
 
-class CrashSweep
-    : public ::testing::TestWithParam<std::tuple<ProtocolKind, int>> {};
+// Random minority-crash sweeps, driven through the fault-injection harness
+// (testing::ScenarioRunner): one victim per group at a seed-derived time,
+// four seeds per protocol, every crash-tolerant stack. The deep 100-seed
+// sweeps live in tests/test_seed_sweep.cpp under the `scenario` ctest label.
+class CrashSweep : public ::testing::TestWithParam<ProtocolKind> {};
 
 TEST_P(CrashSweep, RandomMinorityCrashesStaySafe) {
-  auto [kind, seed] = GetParam();
-  Experiment ex(cfg(kind, 3, 3, static_cast<uint64_t>(seed)));
-  SplitMix64 rng(static_cast<uint64_t>(seed) * 101);
-  // Crash exactly one process per group at a random time (majority alive).
-  for (GroupId g = 0; g < 3; ++g) {
-    const auto victim = static_cast<ProcessId>(g * 3 + rng.next() % 3);
-    ex.crashAt(victim, static_cast<SimTime>(50 * kMs + rng.next() % kSec));
-  }
+  const ProtocolKind kind = GetParam();
+  wanmc::testing::Scenario s;
+  s.name = std::string(protocolName(kind)) + "/crash-sweep";
+  s.config.groups = 3;
+  s.config.procsPerGroup = 3;
+  s.config.protocol = kind;
+  s.latency = wanmc::testing::LatencyPreset::kWan;
   core::WorkloadSpec spec;
   spec.count = 10;
   spec.interval = 90 * kMs;
   spec.destGroups = 2;
-  spec.seed = static_cast<uint64_t>(seed);
-  scheduleWorkload(ex, spec);
-  auto r = ex.run(900 * kSec);
-  expectSafe(r, protocolName(kind));
-  // Liveness: correct senders' messages delivered by all correct addressees
-  // is covered by checkValidity inside expectSafe; additionally the run
-  // must not have stalled entirely.
-  EXPECT_GT(r.trace.deliveries.size(), 0u);
+  s.workload = spec;
+  s.randomCrashes = wanmc::testing::RandomCrashes{1, 50 * kMs, kSec, 0x101};
+  s.runUntil = 900 * kSec;
+  s.withDefaultExpectations();
+  s.expect.minDeliveries = 1;  // the run must not stall entirely
+  for (const auto& r : wanmc::testing::ScenarioRunner(s).sweepSeeds(1, 4))
+    EXPECT_TRUE(r.ok()) << r.report();
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Protocols, CrashSweep,
-    ::testing::Combine(::testing::Values(ProtocolKind::kA1,
-                                         ProtocolKind::kA2,
-                                         ProtocolKind::kFritzke98),
-                       ::testing::Values(1, 2, 3, 4)),
+    ::testing::Values(ProtocolKind::kA1, ProtocolKind::kA2,
+                      ProtocolKind::kFritzke98, ProtocolKind::kDelporte00,
+                      ProtocolKind::kRodrigues98, ProtocolKind::kViaBcast,
+                      ProtocolKind::kSousa02, ProtocolKind::kVicente02),
     [](const auto& info) {
-      const char* k = std::get<0>(info.param) == ProtocolKind::kA1 ? "A1"
-                      : std::get<0>(info.param) == ProtocolKind::kA2
-                          ? "A2"
-                          : "Fritzke98";
-      return std::string(k) + "_seed" + std::to_string(std::get<1>(info.param));
+      return wanmc::testing::protocolTestName(info.param);
     });
 
 }  // namespace

@@ -1,0 +1,274 @@
+// Tests for the fault-injection harness itself (src/testing): determinism
+// of reruns, crash-at-time semantics, drop-filter determinism and matching,
+// and the expectation-derivation logic.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "testing/scenario.hpp"
+
+namespace wanmc {
+namespace {
+
+using core::ProtocolKind;
+using wanmc::testing::CrashSpec;
+using wanmc::testing::DropSpec;
+using wanmc::testing::LatencyPreset;
+using wanmc::testing::RandomCrashes;
+using wanmc::testing::Scenario;
+using wanmc::testing::ScenarioRunner;
+using wanmc::testing::ScheduledCast;
+
+Scenario baseScenario(ProtocolKind kind = ProtocolKind::kA1,
+                      uint64_t seed = 42) {
+  Scenario s;
+  s.name = "harness-test";
+  s.config.groups = 2;
+  s.config.procsPerGroup = 3;
+  s.config.protocol = kind;
+  s.config.seed = seed;
+  s.latency = LatencyPreset::kWan;
+  core::WorkloadSpec w;
+  w.count = 6;
+  w.interval = 60 * kMs;
+  w.destGroups = 2;
+  s.workload = w;
+  s.withDefaultExpectations();
+  return s;
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(Harness, SameSeedProducesByteIdenticalTrace) {
+  ScenarioRunner runner(baseScenario());
+  auto a = runner.run();
+  auto b = runner.run();
+  EXPECT_TRUE(a.ok()) << a.report();
+  EXPECT_FALSE(a.fingerprint.empty());
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(Harness, DifferentSeedsProduceDifferentTraces) {
+  auto a = ScenarioRunner(baseScenario(ProtocolKind::kA1, 1)).run();
+  auto b = ScenarioRunner(baseScenario(ProtocolKind::kA1, 2)).run();
+  // Jittered WAN latencies and reseeded workloads: traces must diverge.
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(Harness, RerunWithCrashesAndDropsIsStillDeterministic) {
+  Scenario s = baseScenario();
+  s.randomCrashes = RandomCrashes{1, 50 * kMs, 500 * kMs, 0xfeed};
+  DropSpec d;
+  d.interGroupOnly = true;
+  d.probability = 0.25;
+  s.drops.push_back(d);
+  s.withDefaultExpectations();
+  ScenarioRunner runner(s);
+  auto a = runner.run();
+  auto b = runner.run();
+  EXPECT_TRUE(a.ok()) << a.report();
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  ASSERT_EQ(a.effectiveCrashes.size(), b.effectiveCrashes.size());
+  for (size_t i = 0; i < a.effectiveCrashes.size(); ++i) {
+    EXPECT_EQ(a.effectiveCrashes[i].pid, b.effectiveCrashes[i].pid);
+    EXPECT_EQ(a.effectiveCrashes[i].when, b.effectiveCrashes[i].when);
+  }
+}
+
+// --- crash semantics -------------------------------------------------------
+
+TEST(Harness, ScriptedCrashStopsTheProcessAtItsTime) {
+  Scenario s = baseScenario();
+  const SimTime crashTime = 200 * kMs;
+  s.crashes.push_back(CrashSpec{4, crashTime});
+  s.withDefaultExpectations();
+  auto r = ScenarioRunner(s).run();
+  EXPECT_TRUE(r.ok()) << r.report();
+  EXPECT_EQ(r.run.correct.count(4), 0u);
+  for (const auto& d : r.run.trace.deliveries)
+    if (d.process == 4)
+      EXPECT_LE(d.when, crashTime) << "delivery after crash instant";
+}
+
+TEST(Harness, MaterializedCrashesAreMinorityPerGroupAndInWindow) {
+  Topology topo(3, 5);
+  RandomCrashes plan{2, 100 * kMs, 900 * kMs, 0xab};
+  auto crashes = wanmc::testing::materializeCrashes(topo, plan, 7);
+  auto again = wanmc::testing::materializeCrashes(topo, plan, 7);
+  ASSERT_EQ(crashes.size(), again.size());
+  for (size_t i = 0; i < crashes.size(); ++i) {
+    EXPECT_EQ(crashes[i].pid, again[i].pid);
+    EXPECT_EQ(crashes[i].when, again[i].when);
+  }
+  std::map<GroupId, std::set<ProcessId>> perGroup;
+  for (const auto& c : crashes) {
+    EXPECT_GE(c.when, plan.earliest);
+    EXPECT_LE(c.when, plan.latest);
+    perGroup[topo.group(c.pid)].insert(c.pid);
+  }
+  for (GroupId g = 0; g < 3; ++g)
+    EXPECT_EQ(perGroup[g].size(), 2u) << "g" << g;  // 2 = minority of 5
+}
+
+TEST(Harness, MaterializedCrashesClampToStrictMinority) {
+  Topology topo(2, 3);
+  RandomCrashes plan{5, 10 * kMs, 20 * kMs, 0xab};  // asks for 5 victims
+  auto crashes = wanmc::testing::materializeCrashes(topo, plan, 1);
+  std::map<GroupId, int> count;
+  for (const auto& c : crashes) ++count[topo.group(c.pid)];
+  for (auto [g, n] : count) EXPECT_LE(n, 1) << "g" << g;  // minority of 3
+}
+
+TEST(Harness, DifferentSeedsPickDifferentCrashSchedules) {
+  Topology topo(3, 5);
+  RandomCrashes plan{2, 100 * kMs, 900 * kMs, 0xab};
+  auto a = wanmc::testing::materializeCrashes(topo, plan, 1);
+  auto b = wanmc::testing::materializeCrashes(topo, plan, 2);
+  bool differ = a.size() != b.size();
+  for (size_t i = 0; !differ && i < a.size(); ++i)
+    differ = a[i].pid != b[i].pid || a[i].when != b[i].when;
+  EXPECT_TRUE(differ);
+}
+
+// --- drop filters ----------------------------------------------------------
+
+TEST(Harness, TotalInterGroupBlackoutStopsRemoteDelivery) {
+  Scenario s = baseScenario();
+  s.workload.reset();
+  s.casts.push_back(ScheduledCast{kMs, 0, GroupSet::of({0, 1}), "x"});
+  DropSpec d;  // drop every packet that crosses a group border, forever
+  d.interGroupOnly = true;
+  s.drops.push_back(d);
+  s.withDefaultExpectations();  // drops present: safety-only
+  auto r = ScenarioRunner(s).run();
+  EXPECT_TRUE(r.ok()) << r.report();
+  for (const auto& del : r.run.trace.deliveries)
+    EXPECT_EQ(r.run.topo.group(del.process), 0)
+        << "group 1 delivered despite the blackout";
+}
+
+TEST(Harness, DropWindowOnlyAffectsItsInterval) {
+  // Blackout long past the run's traffic: nothing may change.
+  Scenario plain = baseScenario();
+  Scenario windowed = baseScenario();
+  DropSpec d;
+  d.interGroupOnly = true;
+  d.activeFrom = 800 * kSec;
+  d.activeUntil = 900 * kSec;
+  windowed.drops.push_back(d);
+  // Keep liveness checks identical on both sides for a fair comparison.
+  windowed.expect = plain.expect;
+  auto a = ScenarioRunner(plain).run();
+  auto b = ScenarioRunner(windowed).run();
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(Harness, LayerScopedDropOnlyMatchesThatLayer) {
+  // Footnote-4 style scenario via the harness: drop every reliable-multicast
+  // packet into group 1; A1 must still deliver everywhere through the
+  // timestamp exchange, so liveness can stay ON.
+  Scenario s = baseScenario();
+  s.workload.reset();
+  s.casts.push_back(ScheduledCast{kMs, 0, GroupSet::of({0, 1}), "x"});
+  DropSpec d;
+  d.layer = Layer::kReliableMulticast;
+  d.toGroup = 1;
+  s.drops.push_back(d);
+  s.withDefaultExpectations();
+  s.expect.checkLiveness = true;  // this particular loss is compensated
+  auto r = ScenarioRunner(s).run();
+  EXPECT_TRUE(r.ok()) << r.report();
+  auto seqs = r.run.trace.sequences();
+  for (ProcessId p = 0; p < 6; ++p)
+    EXPECT_EQ(seqs[p].size(), 1u) << "p" << p;
+}
+
+TEST(Harness, ProbabilisticDropIsSeedDeterministic) {
+  Scenario s = baseScenario();
+  DropSpec d;
+  d.interGroupOnly = true;
+  d.probability = 0.5;
+  s.drops.push_back(d);
+  s.withDefaultExpectations();
+  auto a = ScenarioRunner(s).run();
+  auto b = ScenarioRunner(s).run();
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  // And a different scenario seed re-derives a different coin stream.
+  Scenario s2 = s;
+  s2.config.seed = s.config.seed + 1;
+  auto c = ScenarioRunner(s2).run();
+  EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+// --- expectations ----------------------------------------------------------
+
+TEST(Harness, DefaultExpectationsFollowProtocolTraits) {
+  auto uniform = wanmc::testing::defaultExpectations(ProtocolKind::kA1,
+                                                     false, false);
+  EXPECT_TRUE(uniform.uniform);
+  EXPECT_TRUE(uniform.checkLiveness);
+  EXPECT_TRUE(uniform.checkGenuineness);
+
+  auto sousa = wanmc::testing::defaultExpectations(ProtocolKind::kSousa02,
+                                                   true, false);
+  EXPECT_FALSE(sousa.uniform);
+
+  auto dropped = wanmc::testing::defaultExpectations(ProtocolKind::kA1,
+                                                     false, true);
+  EXPECT_FALSE(dropped.checkLiveness);
+  EXPECT_FALSE(dropped.checkGenuineness);
+
+  EXPECT_FALSE(
+      wanmc::testing::traitsOf(ProtocolKind::kSkeen87).toleratesCrashes);
+  EXPECT_FALSE(
+      wanmc::testing::traitsOf(ProtocolKind::kDetMerge00).toleratesCrashes);
+}
+
+TEST(Harness, StallDetectionReportsFlatRuns) {
+  Scenario s = baseScenario();
+  DropSpec d;  // drop absolutely everything
+  s.drops.push_back(d);
+  s.withDefaultExpectations();
+  s.expect.minDeliveries = 1;
+  auto r = ScenarioRunner(s).run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].find("stall"), std::string::npos);
+}
+
+// --- sweeps ----------------------------------------------------------------
+
+TEST(Harness, SeedSweepRunsEachSeedOnce) {
+  auto results = ScenarioRunner(baseScenario()).sweepSeeds(10, 5);
+  ASSERT_EQ(results.size(), 5u);
+  std::set<std::string> prints;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].seed,
+              static_cast<uint64_t>(10 + i));
+    EXPECT_TRUE(results[static_cast<size_t>(i)].ok())
+        << results[static_cast<size_t>(i)].report();
+    prints.insert(results[static_cast<size_t>(i)].fingerprint);
+  }
+  EXPECT_EQ(prints.size(), 5u) << "seeds collided to identical traces";
+}
+
+TEST(Harness, StandardMatrixCoversCrashAndDropCells) {
+  auto scenarios = wanmc::testing::standardFaultMatrix(ProtocolKind::kA1);
+  bool hasCrash = false, hasDrop = false, hasPlain = false;
+  for (const auto& s : scenarios) {
+    if (s.randomCrashes || !s.crashes.empty()) hasCrash = true;
+    if (!s.drops.empty()) hasDrop = true;
+    if (!s.randomCrashes && s.crashes.empty() && s.drops.empty())
+      hasPlain = true;
+  }
+  EXPECT_TRUE(hasCrash);
+  EXPECT_TRUE(hasDrop);
+  EXPECT_TRUE(hasPlain);
+  // Skeen's matrix must not contain crash cells.
+  for (const auto& s :
+       wanmc::testing::standardFaultMatrix(ProtocolKind::kSkeen87))
+    EXPECT_TRUE(!s.randomCrashes && s.crashes.empty()) << s.name;
+}
+
+}  // namespace
+}  // namespace wanmc

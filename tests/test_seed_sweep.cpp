@@ -1,0 +1,71 @@
+// Randomized property tests: >=100 seeds per protocol stack, each seed a
+// fresh workload plus (for crash-tolerant stacks) a fresh random crash
+// schedule of up to f processes per group (f = strict minority, so
+// consensus stays solvable). Every run is checked against the agreement /
+// total-order invariants appropriate to the stack.
+#include <gtest/gtest.h>
+
+#include "testing/scenario.hpp"
+
+namespace wanmc {
+namespace {
+
+using core::ProtocolKind;
+using wanmc::testing::RandomCrashes;
+using wanmc::testing::Scenario;
+using wanmc::testing::ScenarioRunner;
+
+constexpr int kSeeds = 100;
+
+Scenario sweepScenario(ProtocolKind kind, bool withCrashes) {
+  Scenario s;
+  s.name = std::string(core::protocolName(kind)) +
+           (withCrashes ? "/crash-sweep" : "/sweep");
+  s.config.groups = 3;
+  s.config.procsPerGroup = 3;
+  s.config.protocol = kind;
+  s.latency = wanmc::testing::LatencyPreset::kWan;
+  core::WorkloadSpec w;
+  w.count = 6;
+  w.interval = 80 * kMs;
+  w.destGroups = 2;
+  s.workload = w;
+  s.runUntil = 900 * kSec;
+  if (withCrashes)
+    s.randomCrashes = RandomCrashes{1, 50 * kMs, kSec, 0xc4a5};
+  s.withDefaultExpectations();
+  return s;
+}
+
+class SeedSweep : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(SeedSweep, HundredSeedsSatisfyOrderAndAgreement) {
+  const ProtocolKind kind = GetParam();
+  const bool crashes =
+      wanmc::testing::traitsOf(kind).toleratesCrashes;
+  auto results =
+      ScenarioRunner(sweepScenario(kind, crashes)).sweepSeeds(1, kSeeds);
+  ASSERT_EQ(results.size(), static_cast<size_t>(kSeeds));
+  int failures = 0;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      ++failures;
+      ADD_FAILURE() << r.report();
+    }
+    if (failures >= 5) break;  // don't flood the log
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, SeedSweep,
+    ::testing::Values(ProtocolKind::kA1, ProtocolKind::kFritzke98,
+                      ProtocolKind::kDelporte00, ProtocolKind::kRodrigues98,
+                      ProtocolKind::kViaBcast, ProtocolKind::kSkeen87,
+                      ProtocolKind::kA2, ProtocolKind::kSousa02,
+                      ProtocolKind::kVicente02, ProtocolKind::kDetMerge00),
+    [](const auto& info) {
+      return wanmc::testing::protocolTestName(info.param);
+    });
+
+}  // namespace
+}  // namespace wanmc
