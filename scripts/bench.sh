@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Simulator hot-path benchmark runner.
+#
+#   scripts/bench.sh                     full run, writes BENCH_PR2.json
+#   scripts/bench.sh --quick             reduced budget (CI smoke)
+#   scripts/bench.sh --check FILE        also gate events/sec against FILE
+#                                        (exit 1 on >20% regression)
+#   OUT=path scripts/bench.sh            write the report elsewhere
+#
+# All flags are passed through to bench_sim_core (--jobs N, etc.).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+# Default report path: the checked-in baseline for full runs, but a scratch
+# file when gating (--check) so the baseline is never clobbered by the run
+# that is being compared against it.
+if [[ -z "${OUT:-}" ]]; then
+  case " $* " in
+    *" --check "*) OUT="$BUILD_DIR/bench_report.json" ;;
+    *)             OUT="BENCH_PR2.json" ;;
+  esac
+fi
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_sim_core >/dev/null
+
+exec "$BUILD_DIR/bench_sim_core" --out "$OUT" "$@"

@@ -3,6 +3,7 @@
 #   scripts/check.sh            configure + build + full ctest
 #   scripts/check.sh unit       ... only the fast unit tier
 #   scripts/check.sh scenario   ... only the seed-sweep / matrix tier
+#   scripts/check.sh bench      ... bench smoke + perf-regression gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,8 +19,12 @@ case "$TIER" in
   all)      ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" ;;
   unit)     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L unit ;;
   scenario) ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L scenario ;;
+  bench)
+    OUT="$BUILD_DIR/bench_smoke.json" scripts/bench.sh --quick \
+      --check BENCH_PR2.json
+    ;;
   *)
-    echo "usage: $0 [all|unit|scenario]" >&2
+    echo "usage: $0 [all|unit|scenario|bench]" >&2
     exit 2
     ;;
 esac

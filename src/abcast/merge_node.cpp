@@ -7,12 +7,27 @@ namespace wanmc::abcast {
 
 MergeNode::MergeNode(sim::Runtime& rt, ProcessId pid,
                      const core::StackConfig& cfg, MergeOptions opts)
-    : core::XcastNode(rt, pid, cfg), opts_(opts) {
-  for (ProcessId q : rt.topology().allProcesses()) streams_[q];  // all pubs
+    : core::XcastNode(rt, pid, cfg),
+      opts_(opts),
+      streams_(static_cast<size_t>(rt.topology().numProcesses())) {
+  for (ProcessId q : rt.topology().allProcesses())
+    if (q != pid) others_.push_back(q);
 }
 
 void MergeNode::startProtocol() {
   tick();
+}
+
+// Merge events are published every heartbeat period by every process — the
+// dominant allocation of long runs. They are drawn from the runtime's
+// payload arena: allocate_shared fuses object + control block into one
+// pooled block that is recycled as soon as every subscriber consumed it.
+std::shared_ptr<const MergePayload> MergeNode::makeEvent(bool heartbeat,
+                                                         AppMsgPtr msg,
+                                                         uint64_t ts) {
+  return std::allocate_shared<const MergePayload>(
+      PoolAllocator<const MergePayload>(&runtime().payloadArena()),
+      heartbeat, std::move(msg), ts, pubSeq_++);
 }
 
 void MergeNode::tick() {
@@ -26,12 +41,8 @@ void MergeNode::tick() {
   if (now() == 0 || now() - lastSentAt_ >= opts_.heartbeatPeriod) {
     const uint64_t ts = nowTick();
     lastSentAt_ = now();
-    auto hb =
-        std::make_shared<const MergePayload>(true, nullptr, ts, pubSeq_++);
-    std::vector<ProcessId> others;
-    for (ProcessId q : topology().allProcesses())
-      if (q != pid()) others.push_back(q);
-    sendToMany(others, hb);
+    auto hb = makeEvent(true, nullptr, ts);
+    sendToMany(others_, hb);
     advanceStream(pid(), hb);
   }
   timer(opts_.heartbeatPeriod, [this]() { tick(); });
@@ -43,43 +54,49 @@ void MergeNode::xcast(const AppMsgPtr& m) {
   // publisher may share a tick and are ordered by their event counter.
   const uint64_t ts = nowTick();
   lastSentAt_ = now();
-  auto data = std::make_shared<const MergePayload>(false, m, ts, pubSeq_++);
+  auto data = makeEvent(false, m, ts);
   // [1]'s model has publishers cast to EVERY subscriber (that is what keeps
   // every stream frontier moving); in multicast mode non-addressees receive
   // the event but only use it as a frontier advance — advanceStream filters
   // the merge buffer by addressee.
-  std::vector<ProcessId> others;
-  for (ProcessId q : topology().allProcesses())
-    if (q != pid()) others.push_back(q);
-  sendToMany(others, data);
+  sendToMany(others_, data);
   advanceStream(pid(), data);
 }
 
 void MergeNode::onProtocolMessage(ProcessId from, const PayloadPtr& p) {
-  auto mp = std::dynamic_pointer_cast<const MergePayload>(p);
-  assert(mp != nullptr);
-  advanceStream(from, mp);
+  assert(dynamic_cast<const MergePayload*>(p.get()) != nullptr);
+  advanceStream(from, p);
 }
 
-void MergeNode::advanceStream(ProcessId pub,
-                              const std::shared_ptr<const MergePayload>& ev) {
-  Stream& s = streams_[pub];
-  s.buffered[ev->seq] = ev;
-  // Consume the contiguous prefix: links are not FIFO, the per-publisher
-  // event counter restores stream order.
-  for (auto it = s.buffered.find(s.nextSeq); it != s.buffered.end();
-       it = s.buffered.find(s.nextSeq)) {
-    const auto& e = it->second;
-    s.frontierTs = e->eventTs;
-    if (!e->isHeartbeat) {
-      const AppMessage& m = *e->msg;
-      const bool addressee = !opts_.multicastMode ||
-                             m.dest.contains(gid());
-      if (addressee)
-        mergeBuf_[{e->eventTs, pub, e->seq}] = e->msg;
+void MergeNode::applyEvent(ProcessId pub, Stream& s,
+                           const MergePayload& ev) {
+  s.frontierTs = ev.eventTs;
+  if (!ev.isHeartbeat) {
+    const bool addressee =
+        !opts_.multicastMode || ev.msg->dest.contains(gid());
+    if (addressee) mergeBuf_[{ev.eventTs, pub, ev.seq}] = ev.msg;
+  }
+  ++s.nextSeq;
+}
+
+void MergeNode::advanceStream(ProcessId pub, const PayloadPtr& p) {
+  const auto& ev = static_cast<const MergePayload&>(*p);
+  Stream& s = streams_[static_cast<size_t>(pub)];
+  if (ev.seq == s.nextSeq) {
+    // In-order arrival (every arrival when the publish period exceeds the
+    // link jitter): consume in place, no buffering, no shared_ptr copy.
+    applyEvent(pub, s, ev);
+    // A filled gap may release buffered successors. Links are not FIFO;
+    // the per-publisher event counter restores stream order.
+    while (!s.buffered.empty()) {
+      auto it = s.buffered.find(s.nextSeq);
+      if (it == s.buffered.end()) break;
+      applyEvent(pub, s, *it->second);
+      s.buffered.erase(it);
     }
-    ++s.nextSeq;
-    s.buffered.erase(it);
+  } else if (ev.seq > s.nextSeq) {
+    // Out of order: hold until the gap fills.
+    s.buffered[ev.seq] = std::static_pointer_cast<const MergePayload>(p);
   }
   tryDeliver();
 }
@@ -95,8 +112,10 @@ void MergeNode::tryDeliver() {
     auto it = mergeBuf_.begin();
     const auto [ts, pub, seq] = it->first;
     bool deliverable = true;
-    for (const auto& [q, s] : streams_) {
+    const auto n = static_cast<ProcessId>(streams_.size());
+    for (ProcessId q = 0; q < n; ++q) {
       if (q == pub) continue;
+      const Stream& s = streams_[static_cast<size_t>(q)];
       if (q < pub ? s.frontierTs <= ts : s.frontierTs < ts) {
         deliverable = false;
         break;

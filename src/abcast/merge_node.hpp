@@ -67,13 +67,21 @@ class MergeNode final : public core::XcastNode {
   struct Stream {
     uint64_t nextSeq = 0;      // next contiguous event expected
     uint64_t frontierTs = 0;   // eventTs of the last contiguous event
+    // Out-of-order holding area. The hot path (in-order arrival, which is
+    // every arrival when the publish period exceeds the link jitter) never
+    // touches it.
     std::map<uint64_t, std::shared_ptr<const MergePayload>> buffered;
   };
 
   void tick();
-  void advanceStream(ProcessId pub,
-                     const std::shared_ptr<const MergePayload>& ev);
+  // `p` must hold a MergePayload. The in-order fast path reads it by
+  // reference without copying the shared_ptr (no refcount traffic); only
+  // the out-of-order slow path retains a reference.
+  void advanceStream(ProcessId pub, const PayloadPtr& p);
+  void applyEvent(ProcessId pub, Stream& s, const MergePayload& ev);
   void tryDeliver();
+  [[nodiscard]] std::shared_ptr<const MergePayload> makeEvent(
+      bool heartbeat, AppMsgPtr msg, uint64_t ts);
   [[nodiscard]] uint64_t nowTick() const {
     return static_cast<uint64_t>(now() / opts_.heartbeatPeriod) + 1;
   }
@@ -81,7 +89,8 @@ class MergeNode final : public core::XcastNode {
   MergeOptions opts_;
   SimTime lastSentAt_ = -1;   // last publish instant (idle-only heartbeats)
   uint64_t pubSeq_ = 0;       // my event counter
-  std::map<ProcessId, Stream> streams_;
+  std::vector<ProcessId> others_;  // every process but self, cached
+  std::vector<Stream> streams_;    // dense, indexed by publisher pid
   // Merge buffer: (eventTs, publisher, seq) -> message.
   std::map<std::tuple<uint64_t, ProcessId, uint64_t>, AppMsgPtr> mergeBuf_;
 };

@@ -1,0 +1,96 @@
+// A size-classed block recycler for pooled payloads.
+//
+// Protocols that publish at a fixed cadence (merge heartbeats, FD pings)
+// allocate one payload per interval per process — the dominant allocation
+// in long simulations. ArenaPool keeps a free list per block size so those
+// payloads are recycled instead of round-tripping through the general heap;
+// PoolAllocator adapts it to std::allocate_shared, which fuses the object
+// and its control block into a single pooled allocation.
+//
+// Ownership rule: the pool must outlive every shared_ptr allocated from it.
+// The simulator guarantees this by owning one arena per Runtime, declared
+// before (so destroyed after) the nodes and the event pool.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace wanmc {
+
+class ArenaPool {
+ public:
+  ArenaPool() = default;
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+  ~ArenaPool() {
+    for (auto& [size, head] : classes_) {
+      while (head != nullptr) {
+        Free* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+
+  void* alloc(size_t n) {
+    for (auto& [size, head] : classes_) {
+      if (size != n) continue;
+      if (head == nullptr) break;
+      Free* p = head;
+      head = head->next;
+      return p;
+    }
+    return ::operator new(n);
+  }
+
+  void dealloc(void* p, size_t n) {
+    for (auto& [size, head] : classes_) {
+      if (size != n) continue;
+      auto* f = static_cast<Free*>(p);
+      f->next = head;
+      head = f;
+      return;
+    }
+    if (classes_.size() < kMaxClasses) {
+      classes_.push_back({n, static_cast<Free*>(p)});
+      classes_.back().second->next = nullptr;
+      return;
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  struct Free {
+    Free* next;
+  };
+  // A handful of distinct payload sizes per run; linear scan is cheapest.
+  static constexpr size_t kMaxClasses = 8;
+  std::vector<std::pair<size_t, Free*>> classes_;
+};
+
+// Minimal allocator over an ArenaPool for std::allocate_shared.
+template <class T>
+struct PoolAllocator {
+  using value_type = T;
+
+  explicit PoolAllocator(ArenaPool* p) : pool(p) {}
+  template <class U>
+  PoolAllocator(const PoolAllocator<U>& o)  // NOLINT(google-explicit-constructor)
+      : pool(o.pool) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(pool->alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { pool->dealloc(p, n * sizeof(T)); }
+
+  template <class U>
+  bool operator==(const PoolAllocator<U>& o) const {
+    return pool == o.pool;
+  }
+
+  ArenaPool* pool;
+};
+
+}  // namespace wanmc

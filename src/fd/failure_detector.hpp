@@ -17,9 +17,7 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -60,15 +58,18 @@ class OracleFd final : public FailureDetector {
  public:
   // `detectionDelay` models the time between a crash and its detection.
   OracleFd(sim::Runtime& rt, ProcessId self, SimTime detectionDelay = 0)
-      : rt_(rt), self_(self), delay_(detectionDelay) {
+      : rt_(rt),
+        self_(self),
+        delay_(detectionDelay),
+        suspected_(static_cast<size_t>(rt.topology().numProcesses()), 0) {
     rt_.addCrashListener([this](ProcessId p) {
       if (p == self_ || rt_.crashed(self_)) return;
       if (delay_ == 0) {
-        suspected_.insert(p);
+        suspected_[static_cast<size_t>(p)] = 1;
         notify(p);
       } else {
         rt_.timer(self_, delay_, [this, p]() {
-          suspected_.insert(p);
+          suspected_[static_cast<size_t>(p)] = 1;
           notify(p);
         });
       }
@@ -76,18 +77,22 @@ class OracleFd final : public FailureDetector {
   }
 
   [[nodiscard]] bool suspects(ProcessId p) const override {
-    return suspected_.count(p) > 0;
+    return suspected_[static_cast<size_t>(p)] != 0;
   }
 
  private:
   sim::Runtime& rt_;
   ProcessId self_;
   SimTime delay_;
-  std::set<ProcessId> suspected_;
+  std::vector<uint8_t> suspected_;  // dense, indexed by pid
 };
 
 // ---------------------------------------------------------------------------
 
+// Heartbeat packet. FD semantics depend only on layer() and the sender id,
+// so each HeartbeatFd reuses ONE pooled instance across ticks (mutating
+// `seq` in place) instead of heap-allocating a payload per interval — the
+// `seq` a receiver observes is advisory, never protocol state.
 struct HeartbeatPayload final : Payload {
   uint64_t seq = 0;
   explicit HeartbeatPayload(uint64_t s) : seq(s) {}
@@ -109,40 +114,47 @@ class HeartbeatFd final : public FailureDetector {
   // `scope` is the set of processes this detector monitors (and heartbeats).
   HeartbeatFd(sim::Runtime& rt, ProcessId self, std::vector<ProcessId> scope,
               Params params)
-      : rt_(rt), self_(self), scope_(std::move(scope)), params_(params) {
-    for (ProcessId p : scope_) lastHeard_[p] = 0;
+      : rt_(rt),
+        self_(self),
+        scope_(std::move(scope)),
+        params_(params),
+        hb_(std::make_shared<HeartbeatPayload>(0)),
+        lastHeard_(static_cast<size_t>(rt.topology().numProcesses()), 0),
+        suspected_(static_cast<size_t>(rt.topology().numProcesses()), 0) {
+    // The per-tick destination vector is built once, not per interval.
+    for (ProcessId p : scope_)
+      if (p != self_) others_.push_back(p);
   }
 
   void start() override {
     // Start-of-run grace: everyone counts as heard at t=0.
-    for (ProcessId p : scope_) lastHeard_[p] = rt_.now();
+    for (ProcessId p : scope_) lastHeard_[static_cast<size_t>(p)] = rt_.now();
     tick();
   }
 
   void onMessage(ProcessId from, const Payload& payload) override {
     if (payload.layer() != Layer::kFailureDetector) return;
-    lastHeard_[from] = rt_.now();
-    if (suspected_.erase(from) > 0) {
+    lastHeard_[static_cast<size_t>(from)] = rt_.now();
+    if (suspected_[static_cast<size_t>(from)] != 0) {
       // eventual accuracy: a prematurely suspected process is rehabilitated
+      suspected_[static_cast<size_t>(from)] = 0;
     }
   }
 
   [[nodiscard]] bool suspects(ProcessId p) const override {
-    return suspected_.count(p) > 0;
+    return suspected_[static_cast<size_t>(p)] != 0;
   }
 
  private:
   void tick() {
-    auto hb = std::make_shared<const HeartbeatPayload>(seq_++);
-    std::vector<ProcessId> others;
-    for (ProcessId p : scope_)
-      if (p != self_) others.push_back(p);
-    rt_.multicast(self_, others, hb);
+    hb_->seq = seq_++;  // pooled payload, see HeartbeatPayload
+    rt_.multicast(self_, others_, hb_);
     const SimTime now = rt_.now();
     for (ProcessId p : scope_) {
-      if (p == self_ || suspected_.count(p)) continue;
-      if (now - lastHeard_[p] > params_.timeout) {
-        suspected_.insert(p);
+      const auto i = static_cast<size_t>(p);
+      if (p == self_ || suspected_[i] != 0) continue;
+      if (now - lastHeard_[i] > params_.timeout) {
+        suspected_[i] = 1;
         notify(p);
       }
     }
@@ -154,8 +166,10 @@ class HeartbeatFd final : public FailureDetector {
   std::vector<ProcessId> scope_;
   Params params_;
   uint64_t seq_ = 0;
-  std::map<ProcessId, SimTime> lastHeard_;
-  std::set<ProcessId> suspected_;
+  std::shared_ptr<HeartbeatPayload> hb_;  // reused across ticks
+  std::vector<ProcessId> others_;         // scope_ minus self, cached
+  std::vector<SimTime> lastHeard_;        // dense, indexed by pid
+  std::vector<uint8_t> suspected_;        // dense, indexed by pid
 };
 
 // Which detector a protocol stack should instantiate.

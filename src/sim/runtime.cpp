@@ -4,23 +4,11 @@ namespace wanmc::sim {
 
 void Runtime::attach(ProcessId pid, std::unique_ptr<Node> node) {
   assert(pid >= 0 && pid < topo_.numProcesses());
-  const auto n = static_cast<size_t>(topo_.numProcesses());
-  if (sentAlgo_.size() != n) {
-    sentAlgo_.assign(n, 0);
-    recvAlgo_.assign(n, 0);
-  }
-  if (perProcOrder_.size() != n) perProcOrder_.assign(n, 0);
   nodes_[static_cast<size_t>(pid)] = node.get();
   owned_.push_back(std::move(node));
 }
 
 void Runtime::start() {
-  const auto n = static_cast<size_t>(topo_.numProcesses());
-  if (sentAlgo_.size() != n) {
-    sentAlgo_.assign(n, 0);
-    recvAlgo_.assign(n, 0);
-  }
-  if (perProcOrder_.size() != n) perProcOrder_.assign(n, 0);
   for (ProcessId p = 0; p < topo_.numProcesses(); ++p) {
     Node* node = nodes_[static_cast<size_t>(p)];
     assert(node != nullptr && "every process must have an attached node");
@@ -43,9 +31,16 @@ void Runtime::multicast(ProcessId from, const std::vector<ProcessId>& tos,
   // Modified Lamport clock (paper §2.3, rule 2): the send event is stamped
   // LC+1 if it leaves the group, LC otherwise; the sender's clock advances
   // to the stamp. A fan-out to several destinations is ONE send event.
+  // Group membership per destination is computed once here and reused by
+  // the scheduling loop below (interScratch_ keeps its capacity across
+  // calls, so this does not allocate at steady state).
   bool anyInter = false;
-  for (ProcessId to : tos)
-    if (!topo_.sameGroup(from, to)) anyInter = true;
+  interScratch_.clear();
+  for (ProcessId to : tos) {
+    const bool inter = !topo_.sameGroup(from, to);
+    interScratch_.push_back(inter ? 1 : 0);
+    anyInter |= inter;
+  }
   uint64_t& senderClock = lamport_[static_cast<size_t>(from)];
   const uint64_t sendTs = senderClock + (anyInter ? 1 : 0);
   senderClock = sendTs;
@@ -55,9 +50,20 @@ void Runtime::multicast(ProcessId from, const std::vector<ProcessId>& tos,
     sentAlgo_[static_cast<size_t>(from)] = 1;
   }
 
+  // One pooled record for the whole fan-out; each copy is only a POD heap
+  // entry. Copies are scheduled in destination order, so sequence numbers,
+  // latency draws, and fire order are identical to a per-copy scheme.
+  Fanout* f = acquireFanout();
+  f->payload = std::move(payload);
+  f->from = from;
+  f->layer = layer;
+  f->sendTs = sendTs;
+  f->pending = 0;
+
+  auto& counter = traffic_.at(layer);
+  size_t idx = 0;
   for (ProcessId to : tos) {
-    const bool inter = !topo_.sameGroup(from, to);
-    auto& counter = traffic_.at(layer);
+    const bool inter = interScratch_[idx++] != 0;
     if (inter) {
       ++counter.inter;
     } else {
@@ -67,27 +73,26 @@ void Runtime::multicast(ProcessId from, const std::vector<ProcessId>& tos,
       trace_.wire.push_back(WireEvent{from, to, layer, inter, sched_.now()});
     }
 
-    if (drop_ && drop_(from, to, *payload)) continue;
+    if (drop_ && drop_(from, to, *f->payload)) continue;
 
     const SimTime delay = drawLatency(inter);
-    sched_.at(sched_.now() + delay,
-              [this, from, to, sendTs, layer, p = payload]() {
-                if (crashed(to)) return;  // to a crashed process: vanishes
-                // Receive event (rule 3): the receiver's clock jumps to
-                // max(LC, ts(send(m))).
-                uint64_t& recvClock = lamport_[static_cast<size_t>(to)];
-                recvClock = std::max(recvClock, sendTs);
-                if (layer != Layer::kFailureDetector)
-                  recvAlgo_[static_cast<size_t>(to)] = 1;
-                nodes_[static_cast<size_t>(to)]->onMessage(from, p);
-              });
+    ++f->pending;
+    sched_.at(sched_.now() + delay, Delivery{this, f, to});
   }
+  if (f->pending == 0) releaseFanout(f);  // every copy dropped
 }
 
-EventId Runtime::timer(ProcessId pid, SimTime delay, EventFn fn) {
-  return sched_.at(sched_.now() + delay, [this, pid, f = std::move(fn)]() {
-    if (!crashed(pid)) f();
-  });
+void Runtime::deliverCopy(Fanout& f, ProcessId to) {
+  if (!crashed(to)) {  // to a crashed process: vanishes
+    // Receive event (rule 3): the receiver's clock jumps to
+    // max(LC, ts(send(m))).
+    uint64_t& recvClock = lamport_[static_cast<size_t>(to)];
+    recvClock = std::max(recvClock, f.sendTs);
+    if (f.layer != Layer::kFailureDetector)
+      recvAlgo_[static_cast<size_t>(to)] = 1;
+    nodes_[static_cast<size_t>(to)]->onMessage(f.from, f.payload);
+  }
+  if (--f.pending == 0) releaseFanout(&f);
 }
 
 void Runtime::crash(ProcessId pid) {

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cassert>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/ids.hpp"
 #include "common/message.hpp"
 #include "common/rng.hpp"
@@ -54,7 +56,12 @@ class Runtime {
         rng_(SplitMix64(seed).fork(0xa11ce)),
         lamport_(static_cast<size_t>(topo_.numProcesses()), 0),
         crashed_(static_cast<size_t>(topo_.numProcesses()), 0),
-        nodes_(static_cast<size_t>(topo_.numProcesses()), nullptr) {}
+        nodes_(static_cast<size_t>(topo_.numProcesses()), nullptr),
+        sentAlgo_(static_cast<size_t>(topo_.numProcesses()), 0),
+        recvAlgo_(static_cast<size_t>(topo_.numProcesses()), 0),
+        perProcOrder_(static_cast<size_t>(topo_.numProcesses()), 0),
+        intraDraw_(latency_.intraMin, latency_.intraMax),
+        interDraw_(latency_.interMin, latency_.interMax) {}
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -82,6 +89,11 @@ class Runtime {
   [[nodiscard]] const Topology& topology() const { return topo_; }
   [[nodiscard]] SplitMix64& rng() { return rng_; }
 
+  // Recycler for per-interval protocol payloads (see common/arena.hpp).
+  // Owned by the runtime so pooled payloads may be held by ANY node or
+  // in-flight event: the arena is destroyed after all of them.
+  [[nodiscard]] ArenaPool& payloadArena() { return payloadArena_; }
+
   // ---- messaging (used by Node) -------------------------------------------
 
   // Sends `payload` from `from` to `to`, applying the latency model, the
@@ -108,8 +120,15 @@ class Runtime {
   // ---- timers --------------------------------------------------------------
 
   // Fires `fn` after `delay` unless the process has crashed by then.
-  // Timers are local events: they never touch the Lamport clock.
-  EventId timer(ProcessId pid, SimTime delay, EventFn fn);
+  // Timers are local events: they never touch the Lamport clock. The
+  // callable is stored inline in the scheduler's event pool when it fits
+  // (see EventCallable), so routine protocol timers do not allocate.
+  template <class F>
+  EventId timer(ProcessId pid, SimTime delay, F&& fn) {
+    using D = std::decay_t<F>;
+    return sched_.at(sched_.now() + delay,
+                     TimerGuard<D>{this, pid, std::forward<F>(fn)});
+  }
   void cancelTimer(EventId id) { sched_.cancel(id); }
 
   // ---- failures ------------------------------------------------------------
@@ -157,7 +176,56 @@ class Runtime {
   }
 
  private:
+  // Suppresses a timer whose process crashed before it fired. A plain
+  // struct (not a lambda) so its size is known and it stays inline in the
+  // scheduler's event pool.
+  template <class F>
+  struct TimerGuard {
+    Runtime* rt;
+    ProcessId pid;
+    F fn;
+    void operator()() {
+      if (!rt->crashed(pid)) fn();
+    }
+  };
+
+  // One multicast fan-out: the payload, stamp, and layer are stored ONCE in
+  // a pooled record; each copy on the wire is only a POD (when, seq, slot)
+  // heap entry plus a Delivery referencing the record. `pending` counts
+  // copies still in flight; the record returns to the free list when the
+  // last one fires. Delivery events are internal and never cancelled, so
+  // the count cannot strand a record.
+  struct Fanout {
+    PayloadPtr payload;
+    ProcessId from = kNoProcess;
+    Layer layer = Layer::kApp;
+    uint64_t sendTs = 0;
+    uint32_t pending = 0;
+  };
+  struct Delivery {
+    Runtime* rt;
+    Fanout* f;
+    ProcessId to;
+    void operator()() const { rt->deliverCopy(*f, to); }
+  };
+
+  Fanout* acquireFanout() {
+    if (!fanoutFree_.empty()) {
+      Fanout* f = fanoutFree_.back();
+      fanoutFree_.pop_back();
+      return f;
+    }
+    fanoutSlab_.emplace_back();
+    return &fanoutSlab_.back();
+  }
+  void releaseFanout(Fanout* f) {
+    f->payload.reset();
+    fanoutFree_.push_back(f);
+  }
+  void deliverCopy(Fanout& f, ProcessId to);
+
   Topology topo_;
+  ArenaPool payloadArena_;  // first: destroyed after nodes and events
   LatencyModel latency_;
   SplitMix64 rng_;
   Scheduler sched_;
@@ -173,15 +241,33 @@ class Runtime {
   TrafficStats traffic_;
   bool recordWire_ = false;
   SimTime lastAlgoSend_ = -1;
-  std::vector<uint8_t> sentAlgo_ = std::vector<uint8_t>(
-      static_cast<size_t>(1024), 0);  // resized in attach()
-  std::vector<uint8_t> recvAlgo_ = std::vector<uint8_t>(
-      static_cast<size_t>(1024), 0);
+  std::vector<uint8_t> sentAlgo_;
+  std::vector<uint8_t> recvAlgo_;
   std::vector<uint64_t> perProcOrder_;
 
+  std::deque<Fanout> fanoutSlab_;      // stable addresses for Delivery
+  std::vector<Fanout*> fanoutFree_;
+  std::vector<uint8_t> interScratch_;  // per-destination flags, reused
+
+  // Latency spans are fixed per run, so the draw modulo uses precomputed
+  // FastMod magic. Bit-identical to SplitMix64::uniform(min, max),
+  // including the jitter-free case, which consumes NO random draw.
+  struct LatencyDraw {
+    SimTime min = 0;
+    uint64_t span = 0;  // 0: fixed latency, no draw
+    FastMod mod;
+    explicit LatencyDraw(SimTime lo = 0, SimTime hi = 0)
+        : min(lo),
+          span(lo < hi ? static_cast<uint64_t>(hi - lo) + 1 : 0),
+          mod(span > 0 ? FastMod(span) : FastMod()) {}
+  };
+  LatencyDraw intraDraw_{0, 0};
+  LatencyDraw interDraw_{0, 0};
+
   SimTime drawLatency(bool interGroup) {
-    return interGroup ? rng_.uniform(latency_.interMin, latency_.interMax)
-                      : rng_.uniform(latency_.intraMin, latency_.intraMax);
+    const LatencyDraw& d = interGroup ? interDraw_ : intraDraw_;
+    if (d.span == 0) return d.min;
+    return d.min + static_cast<SimTime>(d.mod(rng_.next()));
   }
 };
 
@@ -220,8 +306,9 @@ class Node {
   void sendToMany(const std::vector<ProcessId>& tos, const PayloadPtr& p) {
     rt_.multicast(pid_, tos, p);
   }
-  EventId timer(SimTime delay, EventFn fn) {
-    return rt_.timer(pid_, delay, std::move(fn));
+  template <class F>
+  EventId timer(SimTime delay, F&& fn) {
+    return rt_.timer(pid_, delay, std::forward<F>(fn));
   }
 
  private:

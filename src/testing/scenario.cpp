@@ -1,7 +1,10 @@
 #include "testing/scenario.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "common/rng.hpp"
 
@@ -300,16 +303,50 @@ ScenarioResult ScenarioRunner::run() const {
   return result;
 }
 
+int resolveJobs(int jobs, int maxUseful) {
+  if (maxUseful < 1) maxUseful = 1;
+  if (jobs <= 0) {
+    if (const char* env = std::getenv("WANMC_JOBS")) jobs = std::atoi(env);
+    if (jobs <= 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      jobs = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+  }
+  return std::min(jobs, maxUseful);
+}
+
 std::vector<ScenarioResult> ScenarioRunner::sweepSeeds(uint64_t firstSeed,
-                                                       int count) const {
-  std::vector<ScenarioResult> out;
-  out.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
+                                                       int count,
+                                                       int jobs) const {
+  std::vector<ScenarioResult> out(static_cast<size_t>(std::max(count, 0)));
+  if (count <= 0) return out;
+
+  // Each seed builds its own Experiment/Runtime from a private Scenario
+  // copy, and the library holds no mutable globals, so seeds are
+  // embarrassingly parallel. Results are written by index: output order is
+  // by seed, independent of worker scheduling.
+  auto runSeed = [&](int i) {
     Scenario s = scenario_;
     s.config.seed = firstSeed + static_cast<uint64_t>(i);
     s.name = scenario_.name + "/seed" + std::to_string(s.config.seed);
-    out.push_back(ScenarioRunner(std::move(s)).run());
+    out[static_cast<size_t>(i)] = ScenarioRunner(std::move(s)).run();
+  };
+
+  const int n = resolveJobs(jobs, count);
+  if (n <= 1) {
+    for (int i = 0; i < count; ++i) runSeed(i);
+    return out;
   }
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workers.emplace_back([&]() {
+      for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1))
+        runSeed(i);
+    });
+  }
+  for (auto& t : workers) t.join();
   return out;
 }
 
@@ -414,11 +451,12 @@ std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
 }
 
 std::vector<ScenarioResult> runStandardMatrix(core::ProtocolKind kind,
-                                              const MatrixOptions& opt) {
+                                              const MatrixOptions& opt,
+                                              int jobs) {
   std::vector<ScenarioResult> out;
   for (const Scenario& s : standardFaultMatrix(kind, opt)) {
     auto sweep = ScenarioRunner(s).sweepSeeds(opt.firstSeed,
-                                              opt.seedsPerCell);
+                                              opt.seedsPerCell, jobs);
     out.insert(out.end(), std::make_move_iterator(sweep.begin()),
                std::make_move_iterator(sweep.end()));
   }

@@ -168,8 +168,15 @@ class ScenarioRunner {
   // Reruns the scenario under `count` consecutive seeds starting at
   // `firstSeed` (overriding config.seed; workload, random crashes, and
   // probabilistic drops all re-derive from each seed).
+  //
+  // Seeds are fully independent Runtime instances, so the sweep fans out
+  // over a thread pool. `jobs` = 0 picks the default: the WANMC_JOBS
+  // environment variable if set, else hardware_concurrency. `jobs` = 1
+  // runs serially. Results are ordered by seed regardless of the job
+  // count, and every result is byte-identical to a serial run.
   [[nodiscard]] std::vector<ScenarioResult> sweepSeeds(uint64_t firstSeed,
-                                                       int count) const;
+                                                       int count,
+                                                       int jobs = 0) const;
 
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
 
@@ -208,7 +215,13 @@ struct MatrixOptions {
     core::ProtocolKind kind, const MatrixOptions& opt = {});
 
 // Runs the whole matrix and returns every result (one per scenario seed).
+// Seed sweeps within each scenario use the thread pool (see sweepSeeds).
 [[nodiscard]] std::vector<ScenarioResult> runStandardMatrix(
-    core::ProtocolKind kind, const MatrixOptions& opt = {});
+    core::ProtocolKind kind, const MatrixOptions& opt = {}, int jobs = 0);
+
+// Resolves a job-count request: explicit `jobs` > 0 wins, else the
+// WANMC_JOBS environment variable, else hardware_concurrency; always
+// clamped to [1, maxUseful].
+[[nodiscard]] int resolveJobs(int jobs, int maxUseful);
 
 }  // namespace wanmc::testing

@@ -56,6 +56,23 @@ TEST_P(SeedSweep, HundredSeedsSatisfyOrderAndAgreement) {
   }
 }
 
+// The thread-pool sweep must be a pure reordering of work: same seeds,
+// same results, byte-identical fingerprints, output ordered by seed.
+TEST(ParallelSweep, MatchesSerialSweepByteForByte) {
+  Scenario s = sweepScenario(ProtocolKind::kA1, true);
+  s.runUntil = 30 * kSec;
+  const int kCount = 8;
+  auto serial = ScenarioRunner(s).sweepSeeds(1, kCount, /*jobs=*/1);
+  auto parallel = ScenarioRunner(s).sweepSeeds(1, kCount, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(serial[i].name, parallel[i].name);
+    EXPECT_EQ(serial[i].fingerprint, parallel[i].fingerprint)
+        << "parallel sweep diverged at seed " << serial[i].seed;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, SeedSweep,
     ::testing::Values(ProtocolKind::kA1, ProtocolKind::kFritzke98,

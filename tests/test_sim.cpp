@@ -65,6 +65,92 @@ TEST(Scheduler, EventsCanScheduleEvents) {
   EXPECT_EQ(s.now(), 4);
 }
 
+// Regression for the PR 1 tombstone leak: cancelling an id that already
+// fired (or never existed) must be a no-op — it used to insert a tombstone
+// that was never erased, making pendingEvents() underflow and wrap.
+TEST(Scheduler, CancelOfFiredIdIsANoop) {
+  sim::Scheduler s;
+  int fired = 0;
+  auto id = s.at(10, [&] { ++fired; });
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pendingEvents(), 0u);
+  s.cancel(id);                      // already fired: no-op
+  EXPECT_EQ(s.pendingEvents(), 0u);  // must not underflow
+  s.cancel(id ^ 0xdeadbeef);         // never issued: no-op
+  s.cancel(0);                       // kNoEvent: no-op
+  EXPECT_EQ(s.pendingEvents(), 0u);
+  // The scheduler stays fully usable afterwards.
+  s.at(20, [&] { ++fired; });
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndCountsOnce) {
+  sim::Scheduler s;
+  bool fired = false;
+  auto id = s.at(10, [&] { fired = true; });
+  s.at(20, [] {});
+  EXPECT_EQ(s.pendingEvents(), 2u);
+  s.cancel(id);
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.cancel(id);  // double cancel: no-op
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+// Ids are generation-tagged: once an event fires, its id can never alias a
+// later event even if the underlying pool slot is reused.
+TEST(Scheduler, StaleIdCannotCancelASlotReusedByANewEvent) {
+  sim::Scheduler s;
+  bool aFired = false;
+  bool bFired = false;
+  auto a = s.at(10, [&] { aFired = true; });
+  s.run();
+  ASSERT_TRUE(aFired);
+  auto b = s.at(20, [&] { bFired = true; });  // likely reuses a's slot
+  EXPECT_NE(a, b);
+  s.cancel(a);  // stale id: must NOT cancel b
+  s.run();
+  EXPECT_TRUE(bFired);
+}
+
+TEST(Scheduler, TieBreakSurvivesInterleavedCancels) {
+  sim::Scheduler s;
+  std::vector<int> order;
+  auto a = s.at(10, [&] { order.push_back(1); });
+  s.at(10, [&] { order.push_back(2); });
+  auto c = s.at(10, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(4); });
+  s.cancel(a);
+  s.cancel(c);
+  EXPECT_EQ(s.pendingEvents(), 2u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 4}));
+}
+
+// Events stamped beyond the calendar's near window park in the far heap
+// and must still fire in exact (time, insertion) order.
+TEST(Scheduler, FarFutureEventsInterleaveCorrectly) {
+  sim::Scheduler s;
+  std::vector<int> order;
+  s.at(3600 * kSec, [&] { order.push_back(5); });  // far
+  s.at(1, [&] { order.push_back(1); });            // near
+  s.at(10 * kSec, [&] { order.push_back(3); });    // far at insert time
+  s.at(50 * kMs, [&] {                             // near
+    order.push_back(2);
+    // Fires at 3599.05s: before the 3600s event, after the 10s one.
+    s.at(s.now() + 3599 * kSec, [&] { order.push_back(4); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.now(), 3600 * kSec);
+}
+
 TEST(Topology, RegularLayout) {
   Topology t(3, 4);
   EXPECT_EQ(t.numProcesses(), 12);
