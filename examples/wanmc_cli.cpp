@@ -9,6 +9,10 @@
 //
 //   --protocol   a1|fritzke98|delporte00|rodrigues98|skeen87|viabcast|
 //                a2|sousa02|vicente02|detmerge00
+//   --workload   closed-loop|open-fixed|open-poisson|bursty (arrival model)
+//   --workload-spec "open-poisson count=50 mean=20000 szipf=1.2"
+//                full serialized workload::Spec, overrides the other
+//                workload flags (see src/workload/spec.hpp)
 //   --format     summary (JSON) | messages (CSV) | deliveries (CSV)
 //   --inter-ms / --intra-us   link latencies (fixed)
 //   --crash <pid>:<ms>        schedule a crash (repeatable)
@@ -20,10 +24,20 @@
 
 #include "core/experiment.hpp"
 #include "core/export.hpp"
+#include "workload/spec.hpp"
 
 using namespace wanmc;
 
 namespace {
+
+workload::Model parseModel(const std::string& s) {
+  for (workload::Model m :
+       {workload::Model::kClosedLoop, workload::Model::kOpenLoopFixed,
+        workload::Model::kOpenLoopPoisson, workload::Model::kBursty})
+    if (s == workload::modelName(m)) return m;
+  std::fprintf(stderr, "unknown workload model '%s'\n", s.c_str());
+  std::exit(2);
+}
 
 core::ProtocolKind parseProtocol(const std::string& s) {
   if (s == "a1") return core::ProtocolKind::kA1;
@@ -45,9 +59,7 @@ core::ProtocolKind parseProtocol(const std::string& s) {
 int main(int argc, char** argv) {
   core::RunConfig cfg;
   cfg.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
-  core::WorkloadSpec spec;
-  spec.count = 20;
-  spec.interval = 40 * kMs;
+  workload::Spec spec = workload::Spec::closedLoop(20, 40 * kMs);
   std::string format = "summary";
   std::vector<std::pair<ProcessId, SimTime>> crashes;
 
@@ -65,11 +77,31 @@ int main(int argc, char** argv) {
     else if (arg == "--procs") cfg.procsPerGroup = std::atoi(next().c_str());
     else if (arg == "--seed") cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (arg == "--msgs") spec.count = std::atoi(next().c_str());
-    else if (arg == "--interval-ms")
-      spec.interval = std::atoi(next().c_str()) * kMs;
-    else if (arg == "--dest-groups")
+    else if (arg == "--interval-ms") {
+      const SimTime v = std::atoi(next().c_str()) * kMs;
+      spec.interval = spec.meanGap = v;  // one knob for either model family
+    } else if (arg == "--dest-groups")
       spec.destGroups = std::atoi(next().c_str());
-    else if (arg == "--inter-ms") {
+    else if (arg == "--workload") spec.model = parseModel(next());
+    else if (arg == "--cap") spec.inFlightCap = std::atoi(next().c_str());
+    else if (arg == "--zipf-sender")
+      spec.senderZipf = std::atof(next().c_str());
+    else if (arg == "--zipf-dest") spec.destZipf = std::atof(next().c_str());
+    else if (arg == "--burst-on-ms")
+      spec.onDuration = std::atoi(next().c_str()) * kMs;
+    else if (arg == "--burst-off-ms")
+      spec.offDuration = std::atoi(next().c_str()) * kMs;
+    else if (arg == "--burst-gap-ms")
+      spec.burstGap = std::atoi(next().c_str()) * kMs;
+    else if (arg == "--workload-spec") {
+      const std::string text = next();
+      auto parsed = workload::parse(text);
+      if (!parsed) {
+        std::fprintf(stderr, "malformed workload spec '%s'\n", text.c_str());
+        return 2;
+      }
+      spec = *parsed;
+    } else if (arg == "--inter-ms") {
       const SimTime v = std::atoi(next().c_str()) * kMs;
       cfg.latency.interMin = cfg.latency.interMax = v;
     } else if (arg == "--intra-us") {
@@ -85,6 +117,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--help") {
       std::printf("usage: wanmc_cli [--protocol P] [--groups N] [--procs D] "
                   "[--msgs M] [--interval-ms I] [--dest-groups K] "
+                  "[--workload closed-loop|open-fixed|open-poisson|bursty] "
+                  "[--cap C] [--zipf-sender S] [--zipf-dest S] "
+                  "[--burst-on-ms A] [--burst-off-ms B] [--burst-gap-ms G] "
+                  "[--workload-spec \"MODEL k=v ...\"] "
                   "[--seed S] [--inter-ms L] [--intra-us U] "
                   "[--crash pid:ms] [--format summary|messages|deliveries]\n");
       return 0;
@@ -96,10 +132,11 @@ int main(int argc, char** argv) {
 
   core::Experiment ex(cfg);
   for (auto [pid, when] : crashes) ex.crashAt(pid, when);
-  scheduleWorkload(ex, spec);
+  ex.addWorkload(spec);
+  // DetMerge00's heartbeats never quiesce: bound its run near the end of
+  // the arrival schedule instead of waiting out the full horizon.
   const SimTime horizon = cfg.protocol == core::ProtocolKind::kDetMerge00
-                              ? spec.start + spec.count * spec.interval +
-                                    5 * kSec
+                              ? spec.nominalEnd() + 5 * kSec
                               : 3600 * kSec;
   auto r = ex.run(horizon);
 

@@ -1,6 +1,8 @@
 #include "core/experiment.hpp"
 
 #include <cassert>
+#include <sstream>
+#include <stdexcept>
 
 #include "abcast/a2_node.hpp"
 #include "abcast/sequencer_node.hpp"
@@ -9,6 +11,7 @@
 #include "amcast/rodrigues_node.hpp"
 #include "amcast/skeen_node.hpp"
 #include "amcast/viabcast_node.hpp"
+#include "workload/generator.hpp"
 
 namespace wanmc::core {
 
@@ -94,6 +97,7 @@ Experiment::Experiment(RunConfig cfg) : cfg_(cfg) {
     nodes_.push_back(node.get());
     rt_->attach(p, std::move(node));
   }
+  if (cfg_.workload) addWorkload(*cfg_.workload);
 }
 
 Experiment::~Experiment() = default;
@@ -102,13 +106,111 @@ XcastNode& Experiment::node(ProcessId pid) {
   return *nodes_.at(static_cast<size_t>(pid));
 }
 
+void Experiment::validateCast(ProcessId sender, const GroupSet& dest) const {
+  const Topology& topo = rt_->topology();
+  if (sender < 0 || sender >= topo.numProcesses()) {
+    std::ostringstream os;
+    os << "castAt: sender pid " << sender << " out of range [0, "
+       << topo.numProcesses() << ")";
+    throw std::invalid_argument(os.str());
+  }
+  if (dest.empty())
+    throw std::invalid_argument("castAt: empty destination group set");
+  if (topo.numGroups() < 64 &&
+      (dest.bits() >> topo.numGroups()) != 0) {
+    std::ostringstream os;
+    os << "castAt: destination set " << dest.str() << " addresses groups "
+       << "beyond the topology's " << topo.numGroups();
+    throw std::invalid_argument(os.str());
+  }
+  // DetMerge00's multicast mode legitimately delivers at addressees only;
+  // every other broadcast protocol requires the full group set.
+  const bool multicastCapable =
+      !isBroadcastProtocol(cfg_.protocol) ||
+      (cfg_.protocol == ProtocolKind::kDetMerge00 && cfg_.merge.multicastMode);
+  if (!multicastCapable && dest != topo.allGroups()) {
+    std::ostringstream os;
+    os << "castAt: " << protocolName(cfg_.protocol)
+       << " is a broadcast protocol and delivers to every group — pass the "
+       << "full group set (or use castAllAt)";
+    throw std::invalid_argument(os.str());
+  }
+}
+
+void Experiment::checkMsgIdCeiling(uint64_t pending) const {
+  if (cfg_.protocol != ProtocolKind::kRodrigues98) return;
+  const uint64_t ceiling = amcast::RodriguesNode::kScopeBase;
+  // Ids already reserved by installed-but-not-yet-drained workloads count
+  // against the budget too: generators allocate lazily, so the ceiling
+  // must be enforced against the eventual total, not the current counter.
+  const uint64_t reach = nextMsgId_ + reservedWorkloadIds_ + pending;
+  if (reach <= ceiling) return;
+  std::ostringstream os;
+  os << "Rodrigues98 runs one consensus instance per message under scope "
+     << "kScopeBase + msgId (kScopeBase = 2^20): a workload reaching msg id "
+     << (reach - 1)
+     << " would collide with the scope band. Split the run or use another "
+     << "protocol for >1M-message workloads (ROADMAP: scale ceilings).";
+  throw std::invalid_argument(os.str());
+}
+
 MsgId Experiment::castAt(SimTime when, ProcessId sender, GroupSet dest,
                          std::string body) {
+  validateCast(sender, dest);
+  checkMsgIdCeiling(1);
   const MsgId id = nextMsgId_++;
   auto msg = makeAppMessage(id, sender, dest, std::move(body));
   rt_->timer(sender, when - rt_->now(),
              [this, sender, msg]() { node(sender).xcast(msg); });
   return id;
+}
+
+MsgId Experiment::issueWorkloadCast(ProcessId sender, GroupSet dest,
+                                    std::string body) {
+  if (reservedWorkloadIds_ > 0) --reservedWorkloadIds_;  // reserved -> used
+  const MsgId id = nextMsgId_++;
+  if (!rt_->crashed(sender))
+    node(sender).xcast(makeAppMessage(id, sender, dest, std::move(body)));
+  return id;
+}
+
+workload::Generator& Experiment::addWorkload(workload::Spec spec) {
+  // Generated senders/destinations are valid by construction; replayed
+  // trace entries are user input and validated up front, as is the total
+  // message-id budget of the workload (reserved now, consumed as the
+  // generator issues — layered workloads share one budget).
+  const uint64_t budget =
+      spec.model == workload::Model::kTraceReplay
+          ? static_cast<uint64_t>(spec.trace.size())
+          : static_cast<uint64_t>(std::max(spec.count, 0));
+  checkMsgIdCeiling(budget);
+  reservedWorkloadIds_ += budget;
+  if (spec.model == workload::Model::kTraceReplay) {
+    // Validate the effective destination the generator will issue: empty
+    // means "all groups", and broadcast protocols always get the full set.
+    const bool broadcast = isBroadcastProtocol(cfg_.protocol);
+    for (const workload::TraceCast& c : spec.trace)
+      validateCast(c.sender, (c.dest.empty() || broadcast)
+                                 ? rt_->topology().allGroups()
+                                 : c.dest);
+  }
+  auto gen = std::make_unique<workload::Generator>(*this, std::move(spec));
+  workload::Generator* raw = gen.get();
+  workloads_.push_back(std::move(gen));
+  if (raw->spec().model == workload::Model::kClosedLoop &&
+      raw->spec().inFlightCap > 0) {
+    rt_->addDeliveryObserver(
+        [raw](ProcessId, MsgId m) { raw->onDelivered(m); });
+  }
+  raw->install();
+  return *raw;
+}
+
+std::vector<MsgId> Experiment::workloadIds() const {
+  std::vector<MsgId> ids;
+  for (const auto& g : workloads_)
+    ids.insert(ids.end(), g->issued().begin(), g->issued().end());
+  return ids;
 }
 
 MsgId Experiment::castAllAt(SimTime when, ProcessId sender,
@@ -146,30 +248,6 @@ RunResult Experiment::harvest() const {
       r.genuineness.receivedAlgorithmic.insert(p);
   }
   return r;
-}
-
-std::vector<MsgId> scheduleWorkload(Experiment& ex, const WorkloadSpec& spec) {
-  SplitMix64 rng(spec.seed);
-  const auto& topo = ex.runtime().topology();
-  const int g = topo.numGroups();
-  const int destGroups = std::min(spec.destGroups, g);
-  std::vector<MsgId> ids;
-  SimTime when = spec.start;
-  for (int i = 0; i < spec.count; ++i, when += spec.interval) {
-    const auto sender =
-        static_cast<ProcessId>(rng.next() % topo.numProcesses());
-    GroupSet dest;
-    if (isBroadcastProtocol(ex.config().protocol)) {
-      dest = topo.allGroups();
-    } else {
-      dest.add(topo.group(sender));  // always include the sender's group
-      while (dest.size() < destGroups)
-        dest.add(static_cast<GroupId>(rng.next() % g));
-    }
-    ids.push_back(ex.castAt(when, sender, dest,
-                            "w" + std::to_string(i)));
-  }
-  return ids;
 }
 
 }  // namespace wanmc::core

@@ -127,6 +127,7 @@ void Runtime::recordDelivery(ProcessId pid, MsgId msg) {
   trace_.deliveries.push_back(
       DeliveryEvent{pid, msg, lamport_[static_cast<size_t>(pid)],
                     sched_.now(), perProcOrder_[static_cast<size_t>(pid)]++});
+  for (const DeliveryObserver& f : deliveryObservers_) f(pid, msg);
 }
 
 }  // namespace wanmc::sim

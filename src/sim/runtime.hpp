@@ -156,6 +156,15 @@ class Runtime {
   // Record an A-Deliver event.
   void recordDelivery(ProcessId pid, MsgId msg);
 
+  // Registers a callback invoked synchronously on every recorded delivery.
+  // Used by closed-loop workload generators to observe completion; anything
+  // an observer schedules goes through the deterministic scheduler, so
+  // observers never perturb reproducibility.
+  using DeliveryObserver = std::function<void(ProcessId, MsgId)>;
+  void addDeliveryObserver(DeliveryObserver f) {
+    deliveryObservers_.push_back(std::move(f));
+  }
+
   [[nodiscard]] const RunTrace& trace() const { return trace_; }
   [[nodiscard]] RunTrace& trace() { return trace_; }
   [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
@@ -237,6 +246,7 @@ class Runtime {
 
   DropFilter drop_;
   std::vector<std::function<void(ProcessId)>> crashListeners_;
+  std::vector<DeliveryObserver> deliveryObservers_;
   RunTrace trace_;
   TrafficStats traffic_;
   bool recordWire_ = false;

@@ -9,6 +9,8 @@
 
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -25,7 +27,23 @@ class Topology {
                                   procsPerGroup)) {}
 
   // Ragged topology: sizes[g] processes in group g.
+  // Throws std::invalid_argument beyond the GroupSet scale ceiling (a
+  // 64-bit group bitmask) or on a non-positive group size: a silent
+  // wraparound of the mask would corrupt every destination set.
   explicit Topology(std::vector<int> sizes) : sizes_(std::move(sizes)) {
+    if (sizes_.size() > 64) {
+      throw std::invalid_argument(
+          "Topology: " + std::to_string(sizes_.size()) +
+          " groups exceeds the GroupSet ceiling of 64 (destination sets "
+          "are 64-bit group bitmasks; see ROADMAP scale ceilings)");
+    }
+    for (size_t g = 0; g < sizes_.size(); ++g) {
+      if (sizes_[g] <= 0) {
+        throw std::invalid_argument(
+            "Topology: group " + std::to_string(g) + " has size " +
+            std::to_string(sizes_[g]) + "; every group needs >= 1 process");
+      }
+    }
     groupOf_.clear();
     for (GroupId g = 0; g < static_cast<GroupId>(sizes_.size()); ++g) {
       firstPid_.push_back(static_cast<ProcessId>(groupOf_.size()));

@@ -286,11 +286,11 @@ ScenarioResult ScenarioRunner::run() const {
   }
 
   // Workload: generated casts re-derive from the scenario seed so sweeps
-  // explore different sender/destination patterns per seed.
+  // explore different sender/destination/arrival patterns per seed.
   if (s.workload) {
-    core::WorkloadSpec spec = *s.workload;
+    workload::Spec spec = *s.workload;
     spec.seed = SplitMix64(cfg.seed).fork(spec.seed).next();
-    scheduleWorkload(ex, spec);
+    ex.addWorkload(std::move(spec));
   }
   for (const auto& c : s.casts) {
     const GroupSet dest = c.dest.empty() ? topo.allGroups() : c.dest;
@@ -367,11 +367,8 @@ std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
     s.config.protocol = kind;
     s.config.seed = opt.firstSeed;
     s.latency = latency;
-    core::WorkloadSpec w;
-    w.count = opt.casts;
-    w.interval = opt.castInterval;
-    w.destGroups = std::min(2, opt.groups);
-    s.workload = w;
+    s.workload = workload::Spec::closedLoop(opt.casts, opt.castInterval,
+                                            std::min(2, opt.groups));
     s.runUntil = 900 * kSec;
     return s;
   };
@@ -443,6 +440,51 @@ std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
     d.interGroupOnly = true;
     d.probability = 0.15;
     s.drops.push_back(d);
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+
+  // Workload-realism cells (PR 3): open-loop arrivals and skewed load, the
+  // regimes the rotating-sender schedule could not express. Failure-free,
+  // so the full trait-derived property suite (incl. liveness) applies.
+  {
+    // Open-loop Poisson arrivals: bursts and quiet stretches at the same
+    // mean rate as the closed-loop cells.
+    Scenario s = makeBase("open-poisson", LatencyPreset::kWan);
+    s.workload->model = workload::Model::kOpenLoopPoisson;
+    s.workload->meanGap = opt.castInterval;
+    s.withDefaultExpectations();
+    s.expect.minDeliveries = 1;
+    out.push_back(std::move(s));
+  }
+  {
+    // On/off phases: a burst of back-to-back casts, then silence longer
+    // than a WAN round trip, repeated — exercises quiescence/restart paths.
+    Scenario s = makeBase("open-burst", LatencyPreset::kMixed);
+    s.workload->model = workload::Model::kBursty;
+    s.workload->onDuration = opt.castInterval;
+    s.workload->offDuration = 300 * kMs;
+    s.workload->burstGap = std::max<SimTime>(opt.castInterval / 4, kMs);
+    s.withDefaultExpectations();
+    s.expect.minDeliveries = 1;
+    out.push_back(std::move(s));
+  }
+  {
+    // Zipf-skewed hotspots: one hot sender, popular destination groups.
+    Scenario s = makeBase("skew-zipf", LatencyPreset::kWan);
+    s.workload->senderZipf = 1.2;
+    s.workload->destZipf = 0.8;
+    s.withDefaultExpectations();
+    s.expect.minDeliveries = 1;
+    out.push_back(std::move(s));
+  }
+  if (traits.toleratesCrashes) {
+    // Open-loop load does not pause for fault handling: minority crashes
+    // while Poisson arrivals keep coming.
+    Scenario s = makeBase("open-poisson-crash", LatencyPreset::kWan);
+    s.workload->model = workload::Model::kOpenLoopPoisson;
+    s.workload->meanGap = opt.castInterval;
+    s.randomCrashes = RandomCrashes{1, 50 * kMs, kSec, 0xc4a5};
     s.withDefaultExpectations();
     out.push_back(std::move(s));
   }

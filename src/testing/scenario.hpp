@@ -22,6 +22,7 @@
 #include "common/time.hpp"
 #include "core/experiment.hpp"
 #include "verify/properties.hpp"
+#include "workload/spec.hpp"
 
 namespace wanmc::testing {
 
@@ -131,7 +132,9 @@ struct Scenario {
   std::string name = "scenario";
   core::RunConfig config{};                 // protocol, topology, seed
   std::optional<LatencyPreset> latency;     // overrides config.latency
-  std::optional<core::WorkloadSpec> workload;
+  // Generated workload; its seed is folded with config.seed so sweeps
+  // explore a different sender/destination/arrival pattern per seed.
+  std::optional<workload::Spec> workload;
   std::vector<ScheduledCast> casts;
   std::vector<CrashSpec> crashes;           // scripted crash schedule
   std::optional<RandomCrashes> randomCrashes;  // + seed-derived crashes

@@ -1,0 +1,190 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "sim/runtime.hpp"
+
+namespace wanmc::workload {
+
+// ---------------------------------------------------------------------------
+// ZipfDraw.
+// ---------------------------------------------------------------------------
+
+ZipfDraw::ZipfDraw(int n, double exponent) : n_(std::max(n, 1)) {
+  if (exponent == 0.0 || n_ <= 1) return;  // uniform: stay on the % path
+  cdf_.reserve(static_cast<size_t>(n_));
+  double sum = 0;
+  for (int r = 0; r < n_; ++r) {
+    sum += std::pow(static_cast<double>(r + 1), -exponent);
+    cdf_.push_back(sum);
+  }
+  for (double& c : cdf_) c /= sum;
+}
+
+int ZipfDraw::operator()(SplitMix64& rng) const {
+  if (cdf_.empty()) return static_cast<int>(rng.next() % static_cast<uint64_t>(n_));
+  const double u = rng.uniform01();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<int>(it - cdf_.begin());
+  return std::min(rank, n_ - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Generator.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The pending-arrival event: a POD that fits the scheduler's inline
+// callable storage, so workload generation never allocates per arrival.
+struct Fire {
+  Generator* g;
+  void operator()() const { g->onArrivalEvent(); }
+};
+
+}  // namespace
+
+Generator::Generator(core::Experiment& ex, Spec spec)
+    : ex_(ex),
+      spec_(std::move(spec)),
+      rng_(spec_.seed),
+      senderDraw_(ex.runtime().topology().numProcesses(), spec_.senderZipf),
+      destDraw_(ex.runtime().topology().numGroups(), spec_.destZipf) {}
+
+void Generator::install() {
+  if (spec_.model == Model::kTraceReplay) {
+    std::stable_sort(
+        spec_.trace.begin(), spec_.trace.end(),
+        [](const TraceCast& a, const TraceCast& b) { return a.when < b.when; });
+    spec_.count = static_cast<int>(spec_.trace.size());
+    if (spec_.trace.empty()) return;
+    scheduleArrivalAt(
+        std::max(spec_.trace.front().when, ex_.runtime().now()));
+    return;
+  }
+  if (spec_.count <= 0) return;
+  if (spec_.model == Model::kBursty) {
+    // Degenerate phase parameters would stall the rollover loop below.
+    spec_.onDuration = std::max<SimTime>(spec_.onDuration, 1);
+    spec_.offDuration = std::max<SimTime>(spec_.offDuration, 0);
+    spec_.burstGap = std::max<SimTime>(spec_.burstGap, 1);
+  }
+  burstStart_ = spec_.start;
+  scheduleArrivalAt(std::max(spec_.start, ex_.runtime().now()));
+}
+
+void Generator::scheduleArrivalAt(SimTime when) {
+  // Scheduled directly (not via Runtime::timer): the workload is an
+  // external traffic source, so the arrival chain must survive the crash
+  // of any individual sender. Per-cast crash semantics live in
+  // Experiment::issueWorkloadCast, which allocates the message id but
+  // suppresses the xcast of a crashed sender — exactly what the legacy
+  // per-cast timer guard did.
+  //
+  // Clamped to the present: a workload installed mid-run (or a phase
+  // computed from a past anchor) must never enqueue an event behind the
+  // clock — the scheduler would fire it with a rewound timestamp.
+  ex_.runtime().scheduler().at(std::max(when, ex_.runtime().now()),
+                               Fire{this});
+}
+
+void Generator::onArrivalEvent() {
+  switch (spec_.model) {
+    case Model::kClosedLoop:
+      if (spec_.inFlightCap > 0 && inFlight() >= spec_.inFlightCap) {
+        waiting_ = true;  // onDelivered() restarts the chain
+        return;
+      }
+      issueOne();
+      if (!done())
+        scheduleArrivalAt(ex_.runtime().now() + spec_.interval);
+      return;
+    case Model::kOpenLoopFixed:
+    case Model::kOpenLoopPoisson:
+      issueOne();
+      if (!done()) scheduleArrivalAt(ex_.runtime().now() + openLoopGap());
+      return;
+    case Model::kBursty: {
+      issueOne();
+      if (done()) return;
+      SimTime next = ex_.runtime().now() + spec_.burstGap;
+      while (next - burstStart_ >= spec_.onDuration) {  // phase exhausted
+        burstStart_ += spec_.onDuration + spec_.offDuration;
+        next = std::max(next, burstStart_);
+      }
+      scheduleArrivalAt(next);
+      return;
+    }
+    case Model::kTraceReplay:
+      issueOne();
+      ++traceNext_;
+      if (traceNext_ < spec_.trace.size())
+        scheduleArrivalAt(std::max(spec_.trace[traceNext_].when,
+                                   ex_.runtime().now()));
+      return;
+  }
+}
+
+SimTime Generator::openLoopGap() {
+  if (spec_.model == Model::kOpenLoopFixed)
+    return std::max<SimTime>(spec_.meanGap, 1);
+  // Exponential inter-arrival gap with mean meanGap, floored at one time
+  // unit so the arrival chain always advances.
+  const double u = rng_.uniform01();
+  const double gap = -std::log1p(-u) * static_cast<double>(spec_.meanGap);
+  return std::max<SimTime>(static_cast<SimTime>(std::llround(gap)), 1);
+}
+
+void Generator::issueOne() {
+  const Topology& topo = ex_.runtime().topology();
+  const bool broadcast = core::isBroadcastProtocol(ex_.config().protocol);
+
+  ProcessId sender;
+  GroupSet dest;
+  if (spec_.model == Model::kTraceReplay) {
+    const TraceCast& c = spec_.trace[traceNext_];
+    sender = c.sender;
+    dest = (c.dest.empty() || broadcast) ? topo.allGroups() : c.dest;
+  } else {
+    sender = static_cast<ProcessId>(senderDraw_(rng_));
+    if (broadcast) {
+      dest = topo.allGroups();
+    } else {
+      // The sender's own group is always addressed; extra groups are drawn
+      // until the multicast spans destGroups distinct groups. With zero
+      // skew this consumes the RNG exactly like the legacy scheduler.
+      const int destGroups = std::min(spec_.destGroups, topo.numGroups());
+      dest.add(topo.group(sender));
+      while (dest.size() < destGroups)
+        dest.add(static_cast<GroupId>(destDraw_(rng_)));
+    }
+  }
+
+  // A crashed sender consumes its message id but casts nothing; such a
+  // cast must NOT count toward the in-flight cap — it will never be
+  // delivered, and tracking it would wedge the closed loop for good.
+  const bool willCast = !ex_.runtime().crashed(sender);
+  std::string body = "w";  // built by append: avoids a GCC 12 -Wrestrict
+  body += std::to_string(issued_.size());  // false positive on operator+
+  const MsgId id = ex_.issueWorkloadCast(sender, dest, std::move(body));
+  issued_.push_back(id);
+  if (spec_.model == Model::kClosedLoop && spec_.inFlightCap > 0 && willCast)
+    outstanding_.insert(id);
+}
+
+void Generator::onDelivered(MsgId msg) {
+  // First delivery anywhere completes the cast: robust against crashed
+  // senders (their own delivery may never happen) while staying a pure
+  // function of the simulation schedule.
+  if (outstanding_.erase(msg) == 0) return;
+  if (waiting_ && inFlight() < spec_.inFlightCap && !done()) {
+    waiting_ = false;
+    // Resume as a fresh event at the current instant: issuing from inside
+    // the delivery callback would reenter the node mid-message.
+    scheduleArrivalAt(ex_.runtime().now());
+  }
+}
+
+}  // namespace wanmc::workload

@@ -1,0 +1,101 @@
+// Reactive workload generation: materializes a workload::Spec against a
+// running core::Experiment.
+//
+// A Generator never pre-schedules the whole workload. It keeps exactly one
+// pending arrival timer in the simulation: when that timer fires, the cast
+// is issued (sender and destination drawn from the workload-private RNG
+// stream at that instant) and the NEXT arrival is scheduled according to
+// the model. Closed-loop models additionally listen to A-Deliver events,
+// which is how an in-flight cap can defer arrivals until the protocol
+// catches up — something a pre-materialized schedule cannot express.
+//
+// Determinism: the generator draws only from its private SplitMix64 stream
+// (seeded from Spec::seed) and schedules through the deterministic
+// simulator, so a (spec, seed, topology) triple always reproduces the same
+// cast schedule and, with everything else fixed, a byte-identical trace.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/spec.hpp"
+
+namespace wanmc::core {
+class Experiment;
+}
+
+namespace wanmc::workload {
+
+// Deterministic Zipf(exponent) sampler over ranks [0, n). Exponent 0 is
+// special-cased to the modulo draw so skew-free workloads consume the RNG
+// exactly like the legacy scheduler did.
+class ZipfDraw {
+ public:
+  ZipfDraw() = default;
+  ZipfDraw(int n, double exponent);
+
+  [[nodiscard]] int operator()(SplitMix64& rng) const;
+
+ private:
+  int n_ = 1;
+  std::vector<double> cdf_;  // empty: uniform modulo draw
+};
+
+class Generator {
+ public:
+  // `ex` must outlive the generator (the experiment owns its generators).
+  Generator(core::Experiment& ex, Spec spec);
+
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+
+  // Schedules the first arrival. Called once by Experiment::addWorkload.
+  void install();
+
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+
+  // Message ids issued so far, in issue order. Complete only after the
+  // run: reactive workloads allocate ids at arrival time, not install
+  // time.
+  [[nodiscard]] const std::vector<MsgId>& issued() const { return issued_; }
+
+  // True once every cast of the spec has been issued.
+  [[nodiscard]] bool done() const {
+    return static_cast<int>(issued_.size()) >= spec_.count;
+  }
+
+  // Casts of this workload not yet delivered by any process. Only
+  // maintained for capped closed loops; 0 otherwise.
+  [[nodiscard]] int inFlight() const {
+    return static_cast<int>(outstanding_.size());
+  }
+
+  // Delivery feedback from the runtime (first delivery of one of our
+  // casts anywhere completes it). Wired up by Experiment::addWorkload for
+  // capped closed loops only.
+  void onDelivered(MsgId msg);
+
+  // Fired by the pending-arrival simulator event. Public for the event
+  // callable only — not part of the user-facing API.
+  void onArrivalEvent();
+
+ private:
+  void scheduleArrivalAt(SimTime when);
+  void issueOne();
+  [[nodiscard]] SimTime openLoopGap();
+
+  core::Experiment& ex_;
+  Spec spec_;
+  SplitMix64 rng_;
+  ZipfDraw senderDraw_;
+  ZipfDraw destDraw_;
+
+  std::vector<MsgId> issued_;
+  size_t traceNext_ = 0;      // kTraceReplay cursor
+  SimTime burstStart_ = 0;    // kBursty: start of the current on-phase
+  bool waiting_ = false;      // kClosedLoop: blocked on the in-flight cap
+  std::set<MsgId> outstanding_;  // capped closed loop: undelivered casts
+};
+
+}  // namespace wanmc::workload

@@ -1,0 +1,73 @@
+// Shared machinery for golden-fingerprint tests: a stable hash, plus
+// load/compare/regenerate helpers over "key <hex-hash>" files under
+// tests/golden/. Regenerate a file (only when a behavior change is
+// intended and reviewed) by running the owning test binary with
+// WANMC_REGEN_GOLDEN=1.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace wanmc::testing {
+
+inline uint64_t fnv1a64(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Compares `actual` against the golden file at `path`, or rewrites the
+// file when WANMC_REGEN_GOLDEN is set (then skips the test). Every
+// mismatch is reported as a test failure keyed by cell name, capped so a
+// systematic divergence does not flood the log.
+inline void checkOrRegenGolden(
+    const std::string& path,
+    const std::map<std::string, uint64_t>& actual) {
+  ASSERT_FALSE(actual.empty());
+
+  if (std::getenv("WANMC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    for (const auto& [key, hash] : actual)
+      out << key << " " << std::hex << hash << std::dec << "\n";
+    GTEST_SKIP() << "regenerated " << path << " with " << actual.size()
+                 << " cells";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with WANMC_REGEN_GOLDEN=1 to create it";
+  // Line format: <key with spaces> <hex hash>; the hash is the last token.
+  std::map<std::string, uint64_t> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t sep = line.rfind(' ');
+    if (sep == std::string::npos) continue;
+    golden[line.substr(0, sep)] =
+        std::stoull(line.substr(sep + 1), nullptr, 16);
+  }
+
+  EXPECT_EQ(golden.size(), actual.size())
+      << "cell set changed: " << golden.size() << " golden cells vs "
+      << actual.size() << " actual";
+  int mismatches = 0;
+  for (const auto& [k, h] : actual) {
+    auto it = golden.find(k);
+    if (it == golden.end()) {
+      ADD_FAILURE() << "cell not in golden file: " << k;
+    } else if (it->second != h) {
+      ADD_FAILURE() << "fingerprint diverged: " << k;
+      if (++mismatches >= 10) break;  // don't flood the log
+    }
+  }
+}
+
+}  // namespace wanmc::testing

@@ -106,11 +106,7 @@ TEST(A1, ConcurrentMessagesTotalOrderWithinOverlap) {
 
 TEST(A1, ManyMessagesMixedDestinations) {
   Experiment ex(cfg(3, 2, 7));
-  core::WorkloadSpec spec;
-  spec.count = 40;
-  spec.interval = 20 * kMs;
-  spec.destGroups = 2;
-  scheduleWorkload(ex, spec);
+  ex.addWorkload(workload::Spec::closedLoop(40, 20 * kMs, 2));
   auto r = ex.run(600 * kSec);
   EXPECT_TRUE(r.checkAtomicSuite().empty()) << r.checkAtomicSuite()[0];
   EXPECT_EQ(r.trace.casts.size(), 40u);
@@ -213,12 +209,10 @@ class A1Sweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 TEST_P(A1Sweep, SafetyAcrossTopologiesAndSeeds) {
   auto [groups, procs, seed] = GetParam();
   Experiment ex(cfg(groups, procs, static_cast<uint64_t>(seed)));
-  core::WorkloadSpec spec;
-  spec.count = 15;
-  spec.interval = 40 * kMs;
-  spec.destGroups = std::min(2, groups);
+  workload::Spec spec =
+      workload::Spec::closedLoop(15, 40 * kMs, std::min(2, groups));
   spec.seed = static_cast<uint64_t>(seed) * 13;
-  scheduleWorkload(ex, spec);
+  ex.addWorkload(spec);
   auto r = ex.run(600 * kSec);
   auto v = r.checkAtomicSuite();
   EXPECT_TRUE(v.empty()) << v[0];

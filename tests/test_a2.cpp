@@ -151,11 +151,9 @@ class A2Sweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 TEST_P(A2Sweep, SafetyAcrossTopologiesAndSeeds) {
   auto [groups, procs, seed] = GetParam();
   Experiment ex(cfg(groups, procs, static_cast<uint64_t>(seed)));
-  core::WorkloadSpec spec;
-  spec.count = 15;
-  spec.interval = 35 * kMs;
+  workload::Spec spec = workload::Spec::closedLoop(15, 35 * kMs);
   spec.seed = static_cast<uint64_t>(seed) * 17;
-  scheduleWorkload(ex, spec);
+  ex.addWorkload(spec);
   auto r = ex.run(600 * kSec);
   auto v = r.checkAtomicSuite();
   EXPECT_TRUE(v.empty()) << v[0];

@@ -68,12 +68,9 @@ TEST_P(McastBaseline, ConcurrentOverlappingMulticastsSafe) {
 TEST_P(McastBaseline, WorkloadSweepSafe) {
   for (uint64_t seed : {1u, 2u, 3u}) {
     Experiment ex(cfg(GetParam(), 3, 2, seed));
-    core::WorkloadSpec spec;
-    spec.count = 12;
-    spec.interval = 60 * kMs;
-    spec.destGroups = 2;
+    workload::Spec spec = workload::Spec::closedLoop(12, 60 * kMs, 2);
     spec.seed = seed * 31;
-    scheduleWorkload(ex, spec);
+    ex.addWorkload(spec);
     auto r = ex.run(600 * kSec);
     auto v = r.checkAtomicSuite();
     EXPECT_TRUE(v.empty()) << "seed " << seed << ": " << v[0];

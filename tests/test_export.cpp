@@ -87,13 +87,14 @@ TEST(ExperimentApi, WorkloadIsDeterministicPerSeed) {
     c.procsPerGroup = 2;
     c.protocol = ProtocolKind::kA1;
     Experiment ex(c);
-    core::WorkloadSpec spec;
-    spec.count = 10;
+    workload::Spec spec = workload::Spec::closedLoop(10, 50 * kMs);
     spec.seed = seed;
-    auto ids = scheduleWorkload(ex, spec);
-    auto r = ex.run(0);  // don't execute: inspect the scheduled casts only
-    (void)r;
-    return ids;
+    ex.addWorkload(spec);
+    // Reactive generation: ids are allocated as arrivals fire, so the run
+    // must drain the workload before the ids can be compared.
+    auto r = ex.run(600 * kSec);
+    EXPECT_EQ(r.trace.casts.size(), 10u);
+    return ex.workloadIds();
   };
   EXPECT_EQ(gen(3), gen(3));
 }
@@ -105,11 +106,9 @@ TEST(ExperimentApi, WorkloadRespectsDestGroupCount) {
   c.protocol = ProtocolKind::kA1;
   c.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
   Experiment ex(c);
-  core::WorkloadSpec spec;
-  spec.count = 12;
-  spec.destGroups = 3;
-  scheduleWorkload(ex, spec);
+  ex.addWorkload(workload::Spec::closedLoop(12, 50 * kMs, 3));
   auto r = ex.run(600 * kSec);
+  ASSERT_EQ(r.trace.casts.size(), 12u);
   for (const auto& cst : r.trace.casts) {
     EXPECT_EQ(cst.dest.size(), 3);
     // The sender's own group is always addressed.
@@ -123,12 +122,11 @@ TEST(ExperimentApi, BroadcastProtocolsAlwaysGetFullDest) {
   c.procsPerGroup = 1;
   c.protocol = ProtocolKind::kA2;
   c.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
+  workload::Spec spec = workload::Spec::closedLoop(5, 50 * kMs, 1);
+  c.workload = spec;  // via RunConfig: installed by the constructor
   Experiment ex(c);
-  core::WorkloadSpec spec;
-  spec.count = 5;
-  spec.destGroups = 1;  // ignored for broadcast
-  scheduleWorkload(ex, spec);
   auto r = ex.run(600 * kSec);
+  ASSERT_EQ(r.trace.casts.size(), 5u);
   for (const auto& cst : r.trace.casts) EXPECT_EQ(cst.dest.size(), 3);
 }
 

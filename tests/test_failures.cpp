@@ -168,11 +168,7 @@ TEST_P(CrashSweep, RandomMinorityCrashesStaySafe) {
   s.config.procsPerGroup = 3;
   s.config.protocol = kind;
   s.latency = wanmc::testing::LatencyPreset::kWan;
-  core::WorkloadSpec spec;
-  spec.count = 10;
-  spec.interval = 90 * kMs;
-  spec.destGroups = 2;
-  s.workload = spec;
+  s.workload = workload::Spec::closedLoop(10, 90 * kMs, 2);
   s.randomCrashes = wanmc::testing::RandomCrashes{1, 50 * kMs, kSec, 0x101};
   s.runUntil = 900 * kSec;
   s.withDefaultExpectations();

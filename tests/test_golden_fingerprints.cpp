@@ -11,12 +11,11 @@
 //   WANMC_REGEN_GOLDEN=1 ./test_golden_fingerprints
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 
+#include "golden_util.hpp"
 #include "testing/scenario.hpp"
 
 namespace wanmc {
@@ -34,19 +33,6 @@ constexpr ProtocolKind kAllProtocols[] = {
     ProtocolKind::kVicente02, ProtocolKind::kDetMerge00,
 };
 
-uint64_t fnv1a64(const std::string& s) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-std::string goldenPath() {
-  return std::string(WANMC_SOURCE_DIR) + "/tests/golden/fingerprints.txt";
-}
-
 // name+seed -> fingerprint hash, over the full standard matrix.
 std::map<std::string, uint64_t> computeAll() {
   std::map<std::string, uint64_t> out;
@@ -55,52 +41,16 @@ std::map<std::string, uint64_t> computeAll() {
     for (const ScenarioResult& r : runStandardMatrix(kind, opt)) {
       std::ostringstream key;
       key << wanmc::testing::protocolTestName(kind) << "|" << r.name;
-      out[key.str()] = fnv1a64(r.fingerprint);
+      out[key.str()] = wanmc::testing::fnv1a64(r.fingerprint);
     }
   }
   return out;
 }
 
 TEST(GoldenFingerprints, MatrixCellsMatchPreRefactorTraces) {
-  const auto actual = computeAll();
-  ASSERT_FALSE(actual.empty());
-
-  if (std::getenv("WANMC_REGEN_GOLDEN") != nullptr) {
-    std::ofstream out(goldenPath());
-    ASSERT_TRUE(out.good()) << "cannot write " << goldenPath();
-    for (const auto& [key, hash] : actual) {
-      out << key << " " << std::hex << hash << std::dec << "\n";
-    }
-    GTEST_SKIP() << "regenerated " << goldenPath() << " with "
-                 << actual.size() << " cells";
-  }
-
-  std::ifstream in(goldenPath());
-  ASSERT_TRUE(in.good()) << "missing golden file " << goldenPath()
-                         << " — run with WANMC_REGEN_GOLDEN=1 to create it";
-  // Line format: <key with spaces> <hex hash>; the hash is the last token.
-  std::map<std::string, uint64_t> golden;
-  std::string line;
-  while (std::getline(in, line)) {
-    const size_t sep = line.rfind(' ');
-    if (sep == std::string::npos) continue;
-    golden[line.substr(0, sep)] =
-        std::stoull(line.substr(sep + 1), nullptr, 16);
-  }
-
-  EXPECT_EQ(golden.size(), actual.size())
-      << "matrix shape changed: " << golden.size() << " golden cells vs "
-      << actual.size() << " actual";
-  int mismatches = 0;
-  for (const auto& [k, h] : actual) {
-    auto it = golden.find(k);
-    if (it == golden.end()) {
-      ADD_FAILURE() << "cell not in golden file: " << k;
-    } else if (it->second != h) {
-      ADD_FAILURE() << "fingerprint diverged: " << k;
-      if (++mismatches >= 10) break;  // don't flood the log
-    }
-  }
+  wanmc::testing::checkOrRegenGolden(
+      std::string(WANMC_SOURCE_DIR) + "/tests/golden/fingerprints.txt",
+      computeAll());
 }
 
 }  // namespace

@@ -29,11 +29,7 @@ Scenario baseScenario(ProtocolKind kind = ProtocolKind::kA1,
   s.config.protocol = kind;
   s.config.seed = seed;
   s.latency = LatencyPreset::kWan;
-  core::WorkloadSpec w;
-  w.count = 6;
-  w.interval = 60 * kMs;
-  w.destGroups = 2;
-  s.workload = w;
+  s.workload = workload::Spec::closedLoop(6, 60 * kMs, 2);
   s.withDefaultExpectations();
   return s;
 }
@@ -86,9 +82,11 @@ TEST(Harness, ScriptedCrashStopsTheProcessAtItsTime) {
   auto r = ScenarioRunner(s).run();
   EXPECT_TRUE(r.ok()) << r.report();
   EXPECT_EQ(r.run.correct.count(4), 0u);
-  for (const auto& d : r.run.trace.deliveries)
-    if (d.process == 4)
+  for (const auto& d : r.run.trace.deliveries) {
+    if (d.process == 4) {
       EXPECT_LE(d.when, crashTime) << "delivery after crash instant";
+    }
+  }
 }
 
 TEST(Harness, MaterializedCrashesAreMinorityPerGroupAndInWindow) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "workload/generator.hpp"
 
 namespace wanmc {
 namespace {
@@ -27,11 +28,7 @@ class AllProtocols : public ::testing::TestWithParam<ProtocolKind> {};
 TEST_P(AllProtocols, SafetySuiteOnMixedWorkload) {
   const auto kind = GetParam();
   Experiment ex(cfg(kind, 3, 2, 21));
-  core::WorkloadSpec spec;
-  spec.count = 10;
-  spec.interval = 80 * kMs;
-  spec.destGroups = 2;
-  scheduleWorkload(ex, spec);
+  ex.addWorkload(workload::Spec::closedLoop(10, 80 * kMs, 2));
   auto r = ex.run(600 * kSec);
   auto v = r.checkAtomicSuite();
   EXPECT_TRUE(v.empty()) << protocolName(kind) << ": " << v[0];
@@ -42,10 +39,7 @@ TEST_P(AllProtocols, DeterministicAcrossReruns) {
   const auto kind = GetParam();
   auto runOnce = [&] {
     Experiment ex(cfg(kind, 2, 2, 33));
-    core::WorkloadSpec spec;
-    spec.count = 8;
-    spec.interval = 70 * kMs;
-    scheduleWorkload(ex, spec);
+    ex.addWorkload(workload::Spec::closedLoop(8, 70 * kMs));
     auto r = ex.run(600 * kSec);
     std::string fingerprint;
     for (const auto& d : r.trace.deliveries)
@@ -92,13 +86,11 @@ TEST(LowerBound, NoGenuineMulticastBeatsDegreeTwo) {
         ProtocolKind::kSkeen87}) {
     for (uint64_t seed = 1; seed <= 5; ++seed) {
       Experiment ex(cfg(kind, 3, 2, seed));
-      core::WorkloadSpec spec;
-      spec.count = 10;
-      spec.interval = 50 * kMs;
-      spec.destGroups = 2;
+      workload::Spec spec = workload::Spec::closedLoop(10, 50 * kMs, 2);
       spec.seed = seed;
-      auto ids = scheduleWorkload(ex, spec);
+      auto& w = ex.addWorkload(spec);
       auto r = ex.run(600 * kSec);
+      const std::vector<MsgId>& ids = w.issued();
       for (MsgId id : ids) {
         auto it = r.trace.destOf.find(id);
         ASSERT_NE(it, r.trace.destOf.end());

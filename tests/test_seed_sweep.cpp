@@ -25,11 +25,7 @@ Scenario sweepScenario(ProtocolKind kind, bool withCrashes) {
   s.config.procsPerGroup = 3;
   s.config.protocol = kind;
   s.latency = wanmc::testing::LatencyPreset::kWan;
-  core::WorkloadSpec w;
-  w.count = 6;
-  w.interval = 80 * kMs;
-  w.destGroups = 2;
-  s.workload = w;
+  s.workload = workload::Spec::closedLoop(6, 80 * kMs, 2);
   s.runUntil = 900 * kSec;
   if (withCrashes)
     s.randomCrashes = RandomCrashes{1, 50 * kMs, kSec, 0xc4a5};

@@ -94,12 +94,9 @@ TEST(Skeen, ConcurrentOverlappingMulticastsConsistent) {
 TEST(Skeen, WorkloadSweepSafe) {
   for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
     Experiment ex(cfg(3, 2, seed));
-    core::WorkloadSpec spec;
-    spec.count = 20;
-    spec.interval = 30 * kMs;
-    spec.destGroups = 2;
+    workload::Spec spec = workload::Spec::closedLoop(20, 30 * kMs, 2);
     spec.seed = seed * 37;
-    scheduleWorkload(ex, spec);
+    ex.addWorkload(spec);
     auto r = ex.run(600 * kSec);
     auto v = r.checkAtomicSuite();
     EXPECT_TRUE(v.empty()) << "seed " << seed << ": " << v[0];

@@ -39,11 +39,7 @@ RunConfig makeCfg(const Variant& v, int groups, int procs, uint64_t seed) {
 TEST_P(StackMatrix, FailureFreeWorkloadSafeAndComplete) {
   auto v = GetParam();
   Experiment ex(makeCfg(v, 3, 2, 5));
-  core::WorkloadSpec spec;
-  spec.count = 10;
-  spec.interval = 60 * kMs;
-  spec.destGroups = 2;
-  scheduleWorkload(ex, spec);
+  ex.addWorkload(workload::Spec::closedLoop(10, 60 * kMs, 2));
   auto r = ex.run(120 * kSec);  // heartbeat FD never quiesces: bounded run
   auto errs = r.checkAtomicSuite();
   EXPECT_TRUE(errs.empty()) << errs[0];
@@ -65,11 +61,7 @@ TEST_P(StackMatrix, SurvivesMinorityCrash) {
   Experiment ex(makeCfg(v, 2, 3, 6));
   ex.crashAt(1, 100 * kMs);
   ex.crashAt(5, 200 * kMs);
-  core::WorkloadSpec spec;
-  spec.count = 8;
-  spec.interval = 90 * kMs;
-  spec.destGroups = 2;
-  scheduleWorkload(ex, spec);
+  ex.addWorkload(workload::Spec::closedLoop(8, 90 * kMs, 2));
   auto r = ex.run(200 * kSec);
   auto ctx = r.checkContext();
   for (auto&& e : verify::checkUniformIntegrity(ctx)) ADD_FAILURE() << e;
@@ -237,10 +229,8 @@ TEST(A2Predictors, AllPredictorsPreserveSafety) {
     auto c = a2Cfg(pred, 9);
     c.latency = sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs};
     Experiment ex(c);
-    core::WorkloadSpec spec;
-    spec.count = 12;
-    spec.interval = 120 * kMs;  // gaps straddle the round time
-    scheduleWorkload(ex, spec);
+    // Gaps straddle the round time.
+    ex.addWorkload(workload::Spec::closedLoop(12, 120 * kMs));
     auto r = ex.run(600 * kSec);
     auto v = r.checkAtomicSuite();
     EXPECT_TRUE(v.empty()) << v[0];
