@@ -1,18 +1,21 @@
 // Simulator hot-path microbenchmark + regression gate (PR 2).
 //
 // Measures the simulation core itself — scheduler throughput, multicast
-// fan-out/delivery machinery, the DetMerge00 heartbeat storm, and the
-// 100-seed sweep wall-clock (serial and thread-pool) — and emits a
-// machine-readable JSON report (BENCH_PR2.json is the checked-in baseline).
-// Allocation counts come from a global operator new hook, so every figure
-// carries an allocs-per-event column.
+// fan-out/delivery machinery, the DetMerge00 heartbeat storm, the
+// open-loop workload storm with the streaming metrics recorder off AND on
+// (their ratio is the recorder-overhead figure), and the 100-seed sweep
+// wall-clock (serial and thread-pool) — and emits a machine-readable JSON
+// report (BENCH_PR4.json is the checked-in baseline). Allocation counts
+// come from a global operator new hook, so every figure carries an
+// allocs-per-event column.
 //
 //   bench_sim_core [--quick] [--jobs N] [--out FILE] [--check BASELINE]
 //
 // --quick   reduced iteration budget (CI smoke).
 // --check   compare events/sec fields against a baseline JSON; exit 1 if
-//           any rate regressed by more than 20%. Wall-clock fields are
-//           machine-dependent and are NOT gated.
+//           any rate regressed by more than 20%, or if the metrics
+//           recorder costs more than 5% of sim-core events/sec.
+//           Wall-clock fields are machine-dependent and are NOT gated.
 //
 // Intentionally free of the google-benchmark dependency: it must build and
 // run everywhere the library does, including the CI smoke job.
@@ -36,6 +39,12 @@
 // ---------------------------------------------------------------------------
 
 static std::atomic<uint64_t> g_allocs{0};
+
+// GCC 12's -Wmismatched-new-delete flags std::free in the replaced
+// operator delete when it can see an allocation site inlined through the
+// std allocator — a false positive here: the replaced operator new
+// allocates with std::malloc, so free IS its deallocator.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 
 void* operator new(size_t n) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
@@ -293,38 +302,79 @@ Result benchHeartbeatStorm(int repeats) {
 // arrivals far denser than the delivery latency — the reactive generator
 // keeps exactly one pending arrival while hundreds of multicasts overlap.
 // Measures end-to-end simulator events/sec (scheduler + network + protocol
-// + workload generation) under sustained overload.
-Result benchOpenLoopStorm(int casts, int repeats) {
-  Result r;
-  r.name = "open_loop_storm";
-  r.note = "A1 3x3 WAN, Poisson arrivals mean 3ms, " +
-           std::to_string(casts) + " casts";
+// + workload generation) under sustained overload. With `metrics` on, the
+// streaming recorder (PR 4) observes every cast/delivery/send — the pair
+// of runs is the recorder-overhead measurement.
+uint64_t runOpenLoopStorm(int casts, bool metrics) {
+  wanmc::core::RunConfig cfg;
+  cfg.groups = 3;
+  cfg.procsPerGroup = 3;
+  cfg.protocol = wanmc::core::ProtocolKind::kA1;
+  cfg.latency = wanmc::sim::LatencyModel{
+      wanmc::kMs, 2 * wanmc::kMs, 95 * wanmc::kMs, 110 * wanmc::kMs};
+  cfg.seed = 1;
+  cfg.metrics = metrics;
+  cfg.workload =
+      wanmc::workload::Spec::openLoopPoisson(casts, 3 * wanmc::kMs, 2);
+  wanmc::core::Experiment ex(cfg);
+  // Drive the runtime directly: the raw fired-event count is the
+  // denominator of the rate.
+  ex.runtime().start();
+  return ex.runtime().run(600 * wanmc::kSec);
+}
+
+// The off/on repeats are INTERLEAVED (off, on, off, on, ...) so that a
+// noisy wall-clock window on a shared machine degrades both sides of the
+// recorder-overhead ratio instead of skewing it — back-to-back blocks were
+// observed ±25% apart on the quick budget, far wider than the 5% gate.
+// See benchMetricsOverheadPair: `median` is the reported recorder-overhead
+// figure, `floor` the noise-robust lower estimate the --check gate uses.
+struct MetricsOverhead {
+  double median = 0;
+  double floor = 0;
+};
+
+std::vector<Result> benchMetricsOverheadPair(int casts, int repeats,
+                                             MetricsOverhead* overheadOut) {
+  std::vector<Sample> off, on;
   uint64_t fired = 0;
-  const auto samples = measure(
-      [&] {
-        wanmc::core::RunConfig cfg;
-        cfg.groups = 3;
-        cfg.procsPerGroup = 3;
-        cfg.protocol = wanmc::core::ProtocolKind::kA1;
-        cfg.latency = wanmc::sim::LatencyModel{
-            wanmc::kMs, 2 * wanmc::kMs, 95 * wanmc::kMs, 110 * wanmc::kMs};
-        cfg.seed = 1;
-        cfg.workload = wanmc::workload::Spec::openLoopPoisson(
-            casts, 3 * wanmc::kMs, 2);
-        wanmc::core::Experiment ex(cfg);
-        // Drive the runtime directly: the raw fired-event count is the
-        // denominator of the rate.
-        ex.runtime().start();
-        fired = ex.runtime().run(600 * wanmc::kSec);
-      },
-      repeats);
-  const Sample& m = bestOf(samples);
-  r.eventsPerSec = static_cast<double>(fired) / m.secs;
-  r.allocsPerEvent =
-      static_cast<double>(m.allocs) / static_cast<double>(fired);
-  r.wallMs = m.secs * 1e3;
-  r.normRate = bestNorm(samples, static_cast<double>(fired));
-  return r;
+  for (int r = 0; r < repeats; ++r) {
+    for (bool metrics : {false, true}) {
+      auto s = measure([&] { fired = runOpenLoopStorm(casts, metrics); }, 1);
+      (metrics ? on : off).push_back(s.front());
+    }
+  }
+  // Two estimates off the per-pair wall-time ratios. The REPORTED figure
+  // is the median pair (each adjacent off/on pair shares its noise
+  // window; the median discards pairs where load shifted mid-pair). The
+  // GATED figure is the cleanest pair (largest off/on ratio): a real
+  // recorder regression is systematic — it shows in EVERY pair — while
+  // interference is one-sided, so the floor estimate cannot flake the CI
+  // gate yet still catches a recorder that is genuinely too slow.
+  std::vector<double> ratios;
+  for (size_t i = 0; i < off.size() && i < on.size(); ++i)
+    if (on[i].secs > 0) ratios.push_back(off[i].secs / on[i].secs);
+  if (!ratios.empty()) {
+    std::sort(ratios.begin(), ratios.end());
+    overheadOut->median = 1.0 - ratios[ratios.size() / 2];
+    overheadOut->floor = 1.0 - ratios.back();
+  }
+  auto finish = [&](const std::vector<Sample>& samples, const char* name,
+                    const char* tag) {
+    Result r;
+    r.name = name;
+    r.note = "A1 3x3 WAN, Poisson arrivals mean 3ms, " +
+             std::to_string(casts) + " casts, metrics " + tag;
+    const Sample& m = bestOf(samples);
+    r.eventsPerSec = static_cast<double>(fired) / m.secs;
+    r.allocsPerEvent =
+        static_cast<double>(m.allocs) / static_cast<double>(fired);
+    r.wallMs = m.secs * 1e3;
+    r.normRate = bestNorm(samples, static_cast<double>(fired));
+    return r;
+  };
+  return {finish(off, "open_loop_storm", "off"),
+          finish(on, "open_loop_storm_metrics", "on")};
 }
 
 std::vector<Result> benchDetMergeSweep(int seeds, int jobs, int repeats) {
@@ -358,12 +408,13 @@ std::vector<Result> benchDetMergeSweep(int seeds, int jobs, int repeats) {
 // ---------------------------------------------------------------------------
 
 void writeJson(const std::string& path, const std::vector<Result>& results,
-               bool quick, int jobs) {
+               bool quick, int jobs, double metricsOverhead) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"wanmc-bench-v1\",\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"metrics_overhead\": " << metricsOverhead << ",\n";
   os << "  \"benches\": {\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -488,11 +539,39 @@ int main(int argc, char** argv) {
   results.push_back(benchSchedulerScatter(chainEvents, repeats));
   results.push_back(benchMulticastStorm(stormRounds, repeats));
   results.push_back(benchHeartbeatStorm(quick ? 3 : 5));
-  results.push_back(benchOpenLoopStorm(quick ? 400 : 2000, repeats));
+  // The overhead pair always gets >= 5 interleaved repeats: its ratio
+  // feeds a 5% gate, much tighter than the 20% rate gate, so it needs
+  // more chances at a clean window even on the quick budget.
+  MetricsOverhead metricsOverhead;
+  for (auto& r : benchMetricsOverheadPair(quick ? 400 : 2000,
+                                          std::max(repeats, 5),
+                                          &metricsOverhead))
+    results.push_back(std::move(r));
   for (auto& r : benchDetMergeSweep(sweepSeeds, jobs, quick ? 1 : 3))
     results.push_back(std::move(r));
 
-  writeJson(out, results, quick, jobs);
-  if (!baseline.empty()) return checkAgainstBaseline(baselineText, results);
+  // Recorder-overhead figure: the metrics-on storm vs the metrics-off
+  // storm, on calibration-normalized rates. Reported always; enforced as
+  // part of the --check gate (CI budget: the streaming measurement plane
+  // may cost at most 5% of sim-core events/sec).
+  constexpr double kMaxMetricsOverhead = 0.05;
+  std::fprintf(stderr,
+               "metrics_overhead: %.2f%% of events/sec median, %.2f%% "
+               "cleanest pair (gate %g%% on the latter)\n",
+               metricsOverhead.median * 100, metricsOverhead.floor * 100,
+               kMaxMetricsOverhead * 100);
+
+  writeJson(out, results, quick, jobs, metricsOverhead.median);
+  if (!baseline.empty()) {
+    int rc = checkAgainstBaseline(baselineText, results);
+    if (metricsOverhead.floor > kMaxMetricsOverhead) {
+      std::fprintf(stderr,
+                   "check metrics_overhead : cleanest-pair overhead %.2f%% "
+                   "exceeds the %g%% budget REGRESSED\n",
+                   metricsOverhead.floor * 100, kMaxMetricsOverhead * 100);
+      rc = 1;
+    }
+    return rc;
+  }
   return 0;
 }

@@ -33,7 +33,6 @@ RowResult runProtocol(core::ProtocolKind kind, int groups, int procs,
   core::Experiment ex(cfg);
 
   SplitMix64 rng(42);
-  std::vector<MsgId> ids;
   for (int i = 0; i < msgs; ++i) {
     const auto sender = static_cast<ProcessId>(
         rng.next() % static_cast<uint64_t>(groups * procs));
@@ -45,7 +44,7 @@ RowResult runProtocol(core::ProtocolKind kind, int groups, int procs,
       dest.add(static_cast<GroupId>(rng.next() %
                                     static_cast<uint64_t>(groups)));
     }
-    ids.push_back(ex.castAt(10 * kMs + i * 40 * kMs, sender, dest, "op"));
+    ex.castAt(10 * kMs + i * 40 * kMs, sender, dest, "op");
   }
   auto r = ex.run(kind == core::ProtocolKind::kDetMerge00
                       ? 10 * kSec + msgs * 40 * kMs
@@ -75,14 +74,16 @@ RowResult runProtocol(core::ProtocolKind kind, int groups, int procs,
         verify::checkGenuineness(pr.checkContext(), pr.genuineness).empty();
   }
   out.inter = r.traffic.interAlgorithmic();
-  double wallSum = 0;
-  for (MsgId id : ids) {
-    const auto deg = r.trace.latencyDegree(id).value_or(-1);
-    out.minDeg = out.minDeg < 0 ? deg : std::min(out.minDeg, deg);
-    out.maxDeg = std::max(out.maxDeg, deg);
-    wallSum += static_cast<double>(r.trace.wallLatency(id).value_or(0)) / kMs;
+  // All the latency aggregates come straight off the streaming summary —
+  // no per-message trace rescans (PR 4).
+  const metrics::Summary& m = r.metrics;
+  if (!m.latencyDegrees.empty()) {
+    out.minDeg = m.latencyDegrees.begin()->first;
+    out.maxDeg = m.latencyDegrees.rbegin()->first;
   }
-  out.meanWallMs = wallSum / msgs;
+  out.meanWallMs = m.msgLatency.mean() *
+                   static_cast<double>(m.completed) /
+                   (static_cast<double>(msgs) * kMs);
   return out;
 }
 

@@ -1,11 +1,13 @@
 // wanmc_cli — command-line driver for the simulator.
 //
 // Runs any protocol on any topology/workload and prints a summary (JSON) or
-// raw traces (CSV) for external analysis / plotting.
+// raw traces (CSV) for external analysis / plotting, or drives the
+// closed-loop latency-throughput sweep (the paper's Figure-1 regime).
 //
 //   $ ./examples/wanmc_cli --protocol a1 --groups 3 --procs 2
 //         --msgs 50 --interval-ms 40 --dest-groups 2 --seed 9
 //         --format summary      (one line; wrapped here for width)
+//   $ ./examples/wanmc_cli sweep --protocol a1 --points 7 --csv-out a1.csv
 //
 //   --protocol   a1|fritzke98|delporte00|rodrigues98|skeen87|viabcast|
 //                a2|sousa02|vicente02|detmerge00
@@ -13,17 +15,27 @@
 //   --workload-spec "open-poisson count=50 mean=20000 szipf=1.2"
 //                full serialized workload::Spec, overrides the other
 //                workload flags (see src/workload/spec.hpp)
-//   --format     summary (JSON) | messages (CSV) | deliveries (CSV)
+//   --format     summary (JSON) | messages (CSV) | deliveries (CSV) |
+//                latency (CSV percentile rows, see core::writeLatencyCsv)
+//   --json-out / --csv-out    also write the summary JSON / latency CSV
+//                to a file. `sweep` accepts only --csv-out (the sweep CSV)
 //   --inter-ms / --intra-us   link latencies (fixed)
 //   --crash <pid>:<ms>        schedule a crash (repeatable)
+//
+// `sweep` flags: --points K, --casts M, --cap C, --seeds S, --jobs J,
+// --interval-max-ms / --interval-min-ms (ladder endpoints), plus
+// --protocol/--groups/--procs/--dest-groups/--seed/--inter-ms/--intra-us.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/export.hpp"
+#include "metrics/sweep.hpp"
 #include "workload/spec.hpp"
 
 using namespace wanmc;
@@ -54,13 +66,100 @@ core::ProtocolKind parseProtocol(const std::string& s) {
   std::exit(2);
 }
 
+void writeFileOrDie(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  if (!f.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  f << text;
+}
+
+// `wanmc_cli sweep ...`: the closed-loop offered-load ladder, one
+// latency-vs-throughput CSV row per load point (metrics/sweep.hpp).
+int sweepMain(int argc, char** argv) {
+  metrics::SweepOptions opt;
+  opt.base.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
+  int points = 7;
+  SimTime slowest = 256 * kMs;
+  SimTime fastest = 4 * kMs;
+  std::string csvOut;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--protocol") opt.base.protocol = parseProtocol(next());
+    else if (arg == "--groups") opt.base.groups = std::atoi(next().c_str());
+    else if (arg == "--procs")
+      opt.base.procsPerGroup = std::atoi(next().c_str());
+    else if (arg == "--seed")
+      opt.firstSeed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--dest-groups") opt.destGroups = std::atoi(next().c_str());
+    else if (arg == "--points") points = std::atoi(next().c_str());
+    else if (arg == "--casts") opt.casts = std::atoi(next().c_str());
+    else if (arg == "--cap") opt.inFlightCap = std::atoi(next().c_str());
+    else if (arg == "--seeds") opt.seedsPerPoint = std::atoi(next().c_str());
+    else if (arg == "--jobs") opt.jobs = std::atoi(next().c_str());
+    else if (arg == "--interval-max-ms")
+      slowest = std::atoi(next().c_str()) * kMs;
+    else if (arg == "--interval-min-ms")
+      fastest = std::atoi(next().c_str()) * kMs;
+    else if (arg == "--inter-ms") {
+      const SimTime v = std::atoi(next().c_str()) * kMs;
+      opt.base.latency.interMin = opt.base.latency.interMax = v;
+    } else if (arg == "--intra-us") {
+      const SimTime v = std::atoi(next().c_str());
+      opt.base.latency.intraMin = opt.base.latency.intraMax = v;
+    } else if (arg == "--csv-out") {
+      csvOut = next();
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: wanmc_cli sweep [--protocol P] [--groups N] [--procs D] "
+          "[--points K] [--casts M] [--cap C] [--seeds S] [--jobs J] "
+          "[--dest-groups G] [--interval-max-ms A] [--interval-min-ms B] "
+          "[--seed S] [--inter-ms L] [--intra-us U] [--csv-out FILE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown sweep flag '%s' (try sweep --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  if (points <= 0 || opt.casts <= 0 || opt.seedsPerPoint <= 0) {
+    std::fprintf(stderr,
+                 "sweep: --points, --casts, and --seeds must be positive "
+                 "(got %d, %d, %d)\n",
+                 points, opt.casts, opt.seedsPerPoint);
+    return 2;
+  }
+  opt.intervals = metrics::defaultLoadLadder(points, slowest, fastest);
+  const auto curve = metrics::runLatencyThroughputSweep(opt);
+  std::ostringstream os;
+  metrics::writeSweepCsv(curve, os);
+  std::fputs(os.str().c_str(), stdout);
+  if (!csvOut.empty()) writeFileOrDie(csvOut, os.str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+    return sweepMain(argc - 2, argv + 2);
+
   core::RunConfig cfg;
   cfg.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
   workload::Spec spec = workload::Spec::closedLoop(20, 40 * kMs);
   std::string format = "summary";
+  std::string jsonOut;
+  std::string csvOut;
   std::vector<std::pair<ProcessId, SimTime>> crashes;
 
   for (int i = 1; i < argc; ++i) {
@@ -109,20 +208,27 @@ int main(int argc, char** argv) {
       cfg.latency.intraMin = cfg.latency.intraMax = v;
     } else if (arg == "--format") {
       format = next();
+    } else if (arg == "--json-out") {
+      jsonOut = next();
+    } else if (arg == "--csv-out") {
+      csvOut = next();
     } else if (arg == "--crash") {
       const std::string v = next();
       const auto colon = v.find(':');
       crashes.push_back({std::atoi(v.substr(0, colon).c_str()),
                          std::atoi(v.substr(colon + 1).c_str()) * kMs});
     } else if (arg == "--help") {
-      std::printf("usage: wanmc_cli [--protocol P] [--groups N] [--procs D] "
+      std::printf("usage: wanmc_cli [sweep] [--protocol P] [--groups N] "
+                  "[--procs D] "
                   "[--msgs M] [--interval-ms I] [--dest-groups K] "
                   "[--workload closed-loop|open-fixed|open-poisson|bursty] "
                   "[--cap C] [--zipf-sender S] [--zipf-dest S] "
                   "[--burst-on-ms A] [--burst-off-ms B] [--burst-gap-ms G] "
                   "[--workload-spec \"MODEL k=v ...\"] "
-                  "[--seed S] [--inter-ms L] [--intra-us U] "
-                  "[--crash pid:ms] [--format summary|messages|deliveries]\n");
+                  "[--seed S] [--inter-ms L] [--intra-us U] [--crash pid:ms] "
+                  "[--format summary|messages|deliveries|latency] "
+                  "[--json-out FILE] [--csv-out FILE]\n"
+                  "       wanmc_cli sweep --help   for the sweep flags\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
@@ -140,15 +246,36 @@ int main(int argc, char** argv) {
                               : 3600 * kSec;
   auto r = ex.run(horizon);
 
+  // The safety suite runs ONCE: its verdict feeds the summary JSON (both
+  // copies) and the exit code.
+  const auto violations = r.checkAtomicSuite();
+  std::string summaryText;
+  auto summaryJson = [&]() -> const std::string& {
+    if (summaryText.empty()) {
+      std::ostringstream os;
+      core::writeSummaryJson(r, os, &violations);
+      summaryText = os.str();
+    }
+    return summaryText;
+  };
+
   if (format == "summary") {
-    core::writeSummaryJson(r, std::cout);
+    std::cout << summaryJson();
   } else if (format == "messages") {
     core::writeMessagesCsv(r, std::cout);
   } else if (format == "deliveries") {
     core::writeDeliveriesCsv(r, std::cout);
+  } else if (format == "latency") {
+    core::writeLatencyCsv(r, std::cout);
   } else {
     std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
     return 2;
   }
-  return r.checkAtomicSuite().empty() ? 0 : 1;
+  if (!jsonOut.empty()) writeFileOrDie(jsonOut, summaryJson());
+  if (!csvOut.empty()) {
+    std::ostringstream os;
+    core::writeLatencyCsv(r, os);
+    writeFileOrDie(csvOut, os.str());
+  }
+  return violations.empty() ? 0 : 1;
 }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Simulator hot-path benchmark runner.
 #
-#   scripts/bench.sh                     full run, writes BENCH_PR3.json
+#   scripts/bench.sh                     full run, writes BENCH_PR4.json
 #   scripts/bench.sh --quick             reduced budget (CI smoke)
 #   scripts/bench.sh --check FILE        also gate events/sec against FILE
-#                                        (exit 1 on >20% regression)
+#                                        (exit 1 on >20% regression, or on
+#                                        metrics-recorder overhead >5%)
 #   OUT=path scripts/bench.sh            write the report elsewhere
 #
 # All flags are passed through to bench_sim_core (--jobs N, etc.).
@@ -21,7 +22,7 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ -z "${OUT:-}" ]]; then
   case " $* " in
     *" --check "*) OUT="$BUILD_DIR/bench_report.json" ;;
-    *)             OUT="BENCH_PR3.json" ;;
+    *)             OUT="BENCH_PR4.json" ;;
   esac
 fi
 

@@ -21,7 +21,7 @@ case "$TIER" in
   scenario) ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L scenario ;;
   bench)
     OUT="$BUILD_DIR/bench_smoke.json" scripts/bench.sh --quick \
-      --check BENCH_PR3.json
+      --check BENCH_PR4.json
     ;;
   *)
     echo "usage: $0 [all|unit|scenario|bench]" >&2

@@ -68,7 +68,8 @@ class GroupSet {
     bool first = true;
     for (GroupId g : groups()) {
       if (!first) out += ",";
-      out += "g" + std::to_string(g);
+      out += "g";  // built by append: avoids a GCC 12 -Wrestrict
+      out += std::to_string(g);  // false positive on operator+
       first = false;
     }
     return out + "}";

@@ -130,8 +130,15 @@ struct TrafficStats {
     uint64_t intra = 0;
     uint64_t inter = 0;
     [[nodiscard]] uint64_t total() const { return intra + inter; }
+    friend bool operator==(const Counter&, const Counter&) = default;
   };
   Counter perLayer[5];
+
+  friend bool operator==(const TrafficStats& a, const TrafficStats& b) {
+    for (int l = 0; l < 5; ++l)
+      if (!(a.perLayer[l] == b.perLayer[l])) return false;
+    return true;
+  }
 
   Counter& at(Layer l) { return perLayer[static_cast<int>(l)]; }
   [[nodiscard]] const Counter& at(Layer l) const {

@@ -11,6 +11,7 @@
 #include "amcast/rodrigues_node.hpp"
 #include "amcast/skeen_node.hpp"
 #include "amcast/viabcast_node.hpp"
+#include "metrics/recorder.hpp"
 #include "workload/generator.hpp"
 
 namespace wanmc::core {
@@ -92,6 +93,9 @@ Experiment::Experiment(RunConfig cfg) : cfg_(cfg) {
   cfg_.groups = topo.numGroups();
   rt_ = std::make_unique<sim::Runtime>(topo, cfg_.latency, cfg_.seed);
   rt_->setRecordWire(cfg_.recordWire);
+  // Registered before any node or workload so the measurement plane sees
+  // every event; the recorder is passive, so run behavior is unchanged.
+  if (cfg_.metrics) recorder_ = std::make_unique<metrics::Recorder>(*rt_);
   for (ProcessId p = 0; p < topo.numProcesses(); ++p) {
     auto node = makeNode(cfg_.protocol, *rt_, p, cfg_);
     nodes_.push_back(node.get());
@@ -241,6 +245,12 @@ RunResult Experiment::harvest() const {
   r.traffic = rt_->traffic();
   r.lastAlgoSend = rt_->lastAlgorithmicSend();
   r.endTime = rt_->now();
+  r.metrics = recorder_
+                  ? recorder_->summary(rt_->now())
+                  : metrics::summarizeTrace(rt_->trace(), rt_->topology(),
+                                            rt_->traffic(),
+                                            rt_->lastAlgorithmicSend(),
+                                            rt_->now());
   for (ProcessId p : rt_->topology().allProcesses()) {
     if (!rt_->crashed(p)) r.correct.insert(p);
     if (rt_->everSentAlgorithmic(p)) r.genuineness.sentAlgorithmic.insert(p);

@@ -1,0 +1,105 @@
+#include "metrics/recorder.hpp"
+
+#include <algorithm>
+
+#include "sim/runtime.hpp"
+
+namespace wanmc::metrics {
+
+namespace {
+
+// Addressee count of a destination set without materializing the group
+// list (GroupSet::groups() allocates; this is the cast hot path).
+uint32_t addresseeCount(const Topology& topo, const GroupSet& dest) {
+  uint32_t n = 0;
+  for (uint64_t b = dest.bits(); b != 0; b &= b - 1)
+    n += static_cast<uint32_t>(
+        topo.groupSize(static_cast<GroupId>(__builtin_ctzll(b))));
+  return n;
+}
+
+}  // namespace
+
+Recorder::Recorder(sim::Runtime& rt) : rt_(rt) {
+  const Topology& topo = rt_.topology();
+  perGroup_.resize(static_cast<size_t>(topo.numGroups()));
+  perDestSize_.resize(static_cast<size_t>(topo.numGroups()) + 1);
+  rt_.addObserver(this, sim::kObserveCasts | sim::kObserveDeliveries |
+                            sim::kObserveSends);
+}
+
+void Recorder::onCast(const CastEvent& ev) {
+  ++casts_;
+  if (firstCastAt_ < 0) firstCastAt_ = ev.when;
+  lastCastAt_ = ev.when;
+
+  const size_t idx = static_cast<size_t>(ev.msg);
+  if (idx >= stats_.size()) {
+    size_t grow = stats_.size() < 16 ? 16 : stats_.size() * 2;
+    stats_.resize(std::max(grow, idx + 1));
+  }
+  MsgStat& s = stats_[idx];
+  s.castAt = ev.when;
+  s.castLamport = ev.lamport;
+  s.addressees = addresseeCount(rt_.topology(), ev.dest);
+  s.destGroups = static_cast<uint32_t>(ev.dest.size());
+}
+
+void Recorder::onDeliver(const DeliveryEvent& ev) {
+  ++deliveries_;
+  lastDeliveryAt_ = ev.when;
+
+  MsgStat* s = statOf(ev.msg);
+  if (s == nullptr || s->castAt < 0) return;  // never cast: no latency
+  const SimTime latency = ev.when - s->castAt;
+  deliveryLatency_.add(latency);
+  perGroup_[static_cast<size_t>(rt_.topology().group(ev.process))].add(
+      latency);
+  perDestSize_[s->destGroups].add(latency);
+
+  s->lastDeliveryAt = ev.when;
+  ++s->deliveries;
+  const int64_t delta = static_cast<int64_t>(ev.lamport) -
+                        static_cast<int64_t>(s->castLamport);
+  if (delta > s->maxLamportDelta) s->maxLamportDelta = delta;
+}
+
+void Recorder::onSend(const WireEvent& ev) {
+  auto& counter = traffic_.at(ev.layer);
+  if (ev.interGroup) {
+    ++counter.inter;
+  } else {
+    ++counter.intra;
+  }
+  if (ev.layer != Layer::kFailureDetector) lastAlgoSendAt_ = ev.sentAt;
+}
+
+Summary Recorder::summary(SimTime endTime) const {
+  Summary out;
+  const Topology& topo = rt_.topology();
+  out.processes = topo.numProcesses();
+  out.groups = topo.numGroups();
+  out.casts = casts_;
+  out.deliveries = deliveries_;
+  out.firstCastAt = firstCastAt_;
+  out.lastCastAt = lastCastAt_;
+  out.lastDeliveryAt = lastDeliveryAt_;
+  out.lastAlgoSendAt = lastAlgoSendAt_;
+  out.endTime = endTime;
+  out.deliveryLatency = deliveryLatency_;
+  out.perGroup = perGroup_;
+  out.perDestSize = perDestSize_;
+  out.traffic = traffic_;
+
+  // Message-level fold: O(#messages), independent of trace length.
+  for (const MsgStat& s : stats_) {
+    if (s.castAt < 0 || s.deliveries == 0) continue;
+    ++out.completed;
+    if (s.deliveries >= s.addressees) ++out.fullyDelivered;
+    out.msgLatency.add(s.lastDeliveryAt - s.castAt);
+    ++out.latencyDegrees[s.maxLamportDelta];
+  }
+  return out;
+}
+
+}  // namespace wanmc::metrics

@@ -1,6 +1,46 @@
 #include "sim/runtime.hpp"
 
+#include <sstream>
+#include <stdexcept>
+
 namespace wanmc::sim {
+
+void LatencyModel::validate() const {
+  auto bad = [](const char* what, SimTime lo, SimTime hi) {
+    std::ostringstream os;
+    os << "LatencyModel: " << what << " range [" << lo << ", " << hi
+       << "]us is invalid (bounds must be non-negative and min <= max)";
+    throw std::invalid_argument(os.str());
+  };
+  if (intraMin < 0 || intraMax < 0 || intraMin > intraMax)
+    bad("intra-group", intraMin, intraMax);
+  if (interMin < 0 || interMax < 0 || interMin > interMax)
+    bad("inter-group", interMin, interMax);
+}
+
+namespace {
+
+// Adapter behind the legacy addDeliveryObserver shim: wraps the PR 3
+// std::function callback in a typed observer the runtime owns.
+class DeliveryCallbackObserver final : public RunObserver {
+ public:
+  explicit DeliveryCallbackObserver(Runtime::DeliveryObserver f)
+      : f_(std::move(f)) {}
+  void onDeliver(const DeliveryEvent& ev) override {
+    f_(ev.process, ev.msg);
+  }
+
+ private:
+  Runtime::DeliveryObserver f_;
+};
+
+}  // namespace
+
+void Runtime::addDeliveryObserver(DeliveryObserver f) {
+  auto obs = std::make_unique<DeliveryCallbackObserver>(std::move(f));
+  addObserver(obs.get(), kObserveDeliveries);
+  ownedObservers_.push_back(std::move(obs));
+}
 
 void Runtime::attach(ProcessId pid, std::unique_ptr<Node> node) {
   assert(pid >= 0 && pid < topo_.numProcesses());
@@ -69,8 +109,10 @@ void Runtime::multicast(ProcessId from, const std::vector<ProcessId>& tos,
     } else {
       ++counter.intra;
     }
-    if (recordWire_) {
-      trace_.wire.push_back(WireEvent{from, to, layer, inter, sched_.now()});
+    if (recordWire_ || !sendObservers_.empty()) {
+      const WireEvent ev{from, to, layer, inter, sched_.now()};
+      if (recordWire_) trace_.wire.push_back(ev);
+      for (RunObserver* o : sendObservers_) o->onSend(ev);
     }
 
     if (drop_ && drop_(from, to, *f->payload)) continue;
@@ -121,13 +163,15 @@ void Runtime::recordCast(ProcessId pid, const AppMsgPtr& m) {
                                    sched_.now()});
   trace_.destOf[m->id] = m->dest;
   trace_.senderOf[m->id] = pid;
+  for (RunObserver* o : castObservers_) o->onCast(trace_.casts.back());
 }
 
 void Runtime::recordDelivery(ProcessId pid, MsgId msg) {
   trace_.deliveries.push_back(
       DeliveryEvent{pid, msg, lamport_[static_cast<size_t>(pid)],
                     sched_.now(), perProcOrder_[static_cast<size_t>(pid)]++});
-  for (const DeliveryObserver& f : deliveryObservers_) f(pid, msg);
+  for (RunObserver* o : deliveryObservers_)
+    o->onDeliver(trace_.deliveries.back());
 }
 
 }  // namespace wanmc::sim

@@ -29,6 +29,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/trace.hpp"
+#include "sim/observer.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/topology.hpp"
 
@@ -44,6 +45,13 @@ struct LatencyModel {
   static LatencyModel fixed(SimTime intra, SimTime inter) {
     return LatencyModel{intra, intra, inter, inter};
   }
+
+  // Throws std::invalid_argument on a negative bound or an inverted
+  // [min, max] range. Checked at Runtime construction (so every
+  // RunConfig-built experiment is covered too): a bad range would
+  // otherwise silently collapse to a fixed draw (span underflow) or
+  // schedule events behind the clock.
+  void validate() const;
 };
 
 class Node;
@@ -61,7 +69,9 @@ class Runtime {
         recvAlgo_(static_cast<size_t>(topo_.numProcesses()), 0),
         perProcOrder_(static_cast<size_t>(topo_.numProcesses()), 0),
         intraDraw_(latency_.intraMin, latency_.intraMax),
-        interDraw_(latency_.interMin, latency_.interMax) {}
+        interDraw_(latency_.interMin, latency_.interMax) {
+    latency_.validate();
+  }
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -156,14 +166,29 @@ class Runtime {
   // Record an A-Deliver event.
   void recordDelivery(ProcessId pid, MsgId msg);
 
-  // Registers a callback invoked synchronously on every recorded delivery.
-  // Used by closed-loop workload generators to observe completion; anything
-  // an observer schedules goes through the deterministic scheduler, so
-  // observers never perturb reproducibility.
-  using DeliveryObserver = std::function<void(ProcessId, MsgId)>;
-  void addDeliveryObserver(DeliveryObserver f) {
-    deliveryObservers_.push_back(std::move(f));
+  // ---- observer plane ------------------------------------------------------
+  //
+  // Typed observers (sim/observer.hpp) see cast/delivery/send events
+  // synchronously, in registration order. Observers are passive: they never
+  // draw from the runtime RNG, and anything they schedule goes through the
+  // deterministic scheduler, so observation never perturbs reproducibility.
+
+  // Registers a NON-OWNING observer for the instrumentation points named in
+  // `interests` (a mask of ObserverInterest bits). There is no removal: the
+  // observer must stay alive as long as the runtime dispatches events. The
+  // runtime never invokes observers from its destructor, so an observer may
+  // be destroyed before the runtime once the simulation is done.
+  void addObserver(RunObserver* obs, uint32_t interests) {
+    if (interests & kObserveCasts) castObservers_.push_back(obs);
+    if (interests & kObserveDeliveries) deliveryObservers_.push_back(obs);
+    if (interests & kObserveSends) sendObservers_.push_back(obs);
   }
+
+  // Legacy delivery hook (PR 3), now a shim over the typed registry: the
+  // callback is wrapped in a runtime-owned adapter observer. Notification
+  // order relative to typed observers is registration order, as before.
+  using DeliveryObserver = std::function<void(ProcessId, MsgId)>;
+  void addDeliveryObserver(DeliveryObserver f);
 
   [[nodiscard]] const RunTrace& trace() const { return trace_; }
   [[nodiscard]] RunTrace& trace() { return trace_; }
@@ -246,7 +271,10 @@ class Runtime {
 
   DropFilter drop_;
   std::vector<std::function<void(ProcessId)>> crashListeners_;
-  std::vector<DeliveryObserver> deliveryObservers_;
+  std::vector<RunObserver*> castObservers_;
+  std::vector<RunObserver*> deliveryObservers_;
+  std::vector<RunObserver*> sendObservers_;
+  std::vector<std::unique_ptr<RunObserver>> ownedObservers_;
   RunTrace trace_;
   TrafficStats traffic_;
   bool recordWire_ = false;

@@ -188,15 +188,22 @@ Scenario& Scenario::withDefaultExpectations() {
 // ---------------------------------------------------------------------------
 
 verify::Violations checkExpectations(const core::RunResult& r,
-                                     const PropertyExpectations& exp) {
+                                     const PropertyExpectations& exp,
+                                     const verify::StreamingOrderChecker* order) {
   verify::Violations out;
   auto append = [&out](verify::Violations v) {
     out.insert(out.end(), v.begin(), v.end());
   };
   const auto ctx = r.checkContext();
   append(verify::checkUniformIntegrity(ctx));
-  append(exp.uniform ? verify::checkUniformPrefixOrder(ctx)
-                     : verify::checkPrefixOrderCorrectOnly(ctx));
+  if (order != nullptr) {
+    // Streaming verdict, built incrementally during the run: no O(n^2)
+    // end-of-run sequence comparison.
+    append(exp.uniform ? order->violations() : order->violations(r.correct));
+  } else {
+    append(exp.uniform ? verify::checkUniformPrefixOrder(ctx)
+                       : verify::checkPrefixOrderCorrectOnly(ctx));
+  }
   if (exp.checkLiveness) {
     append(verify::checkValidity(ctx));
     append(exp.uniform ? verify::checkUniformAgreement(ctx)
@@ -259,6 +266,13 @@ ScenarioResult ScenarioRunner::run() const {
   core::Experiment ex(cfg);
   const Topology& topo = ex.runtime().topology();
 
+  // Prefix order is checked incrementally from the observer plane while
+  // the run progresses (verify/streaming.hpp); passive, so fingerprints
+  // are unaffected.
+  verify::StreamingOrderChecker orderChecker(topo);
+  ex.runtime().addObserver(&orderChecker,
+                           sim::kObserveCasts | sim::kObserveDeliveries);
+
   ScenarioResult result;
   result.name = s.name;
   result.seed = cfg.seed;
@@ -298,7 +312,7 @@ ScenarioResult ScenarioRunner::run() const {
   }
 
   result.run = ex.run(s.runUntil);
-  result.violations = checkExpectations(result.run, s.expect);
+  result.violations = checkExpectations(result.run, s.expect, &orderChecker);
   result.fingerprint = traceFingerprint(result.run);
   return result;
 }

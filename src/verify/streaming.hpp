@@ -1,0 +1,94 @@
+// Streaming prefix-order checking over the observer plane.
+//
+// The trace-based checkers (verify/properties.hpp) compare FINAL delivery
+// sequences pairwise at end of run: O(n^2) projections over the whole
+// trace, the hot spot the ROADMAP called out for big traces. This checker
+// is fed incrementally by the runtime's cast/delivery hooks instead: for
+// every unordered process pair {p, q} it keeps one merged cursor — a queue
+// of deliveries one side is ahead by, projected on messages addressed to
+// BOTH — and compares elements the moment both sides have one. Each
+// delivery of message m touches only the addressees of m, so the total
+// work is O(deliveries * addressees), with no end-of-run rescan; the
+// per-pair queues hold only the current divergence between the two
+// processes, not whole sequences.
+//
+// Verdicts (and violation strings) are identical to
+// checkUniformPrefixOrder / checkPrefixOrderCorrectOnly on every run —
+// cross-checked over the full standard matrix in tests. The trace-based
+// checkers remain available as the offline oracle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/observer.hpp"
+#include "sim/topology.hpp"
+#include "verify/properties.hpp"
+
+namespace wanmc::verify {
+
+class StreamingOrderChecker final : public sim::RunObserver {
+ public:
+  // `topo` must outlive the checker. Register with
+  //   rt.addObserver(&checker, sim::kObserveCasts | sim::kObserveDeliveries)
+  // before the run starts.
+  explicit StreamingOrderChecker(const Topology& topo);
+
+  void onCast(const CastEvent& ev) override;
+  void onDeliver(const DeliveryEvent& ev) override;
+
+  // Violations over all process pairs (uniform prefix order), in the same
+  // pair order and wording as checkUniformPrefixOrder.
+  [[nodiscard]] Violations violations() const;
+  // Restricted to pairs where both processes are in `correct`
+  // (checkPrefixOrderCorrectOnly).
+  [[nodiscard]] Violations violations(
+      const std::set<ProcessId>& correct) const;
+
+  // True iff some pair has already diverged (cheap mid-run probe).
+  [[nodiscard]] bool anyViolation() const { return violatedPairs_ > 0; }
+
+ private:
+  // State of one unordered pair {p, q}, p < q. `pending` holds the merged
+  // cursor's backlog: deliveries (projected on messages addressed to both)
+  // that `aheadSide` has made and the other side has not yet matched.
+  struct PairState {
+    std::deque<MsgId> pending;
+    ProcessId aheadSide = kNoProcess;
+    uint64_t matched = 0;  // length of the agreed common prefix
+    bool violated = false;
+    uint64_t violationPos = 0;
+    MsgId violationA = 0;  // what the lower pid delivered at that position
+    MsgId violationB = 0;
+  };
+
+  [[nodiscard]] size_t pairIndex(ProcessId p, ProcessId q) const {
+    // p < q; dense triangular index.
+    const auto n = static_cast<size_t>(n_);
+    const auto a = static_cast<size_t>(p);
+    const auto b = static_cast<size_t>(q);
+    return a * n - a * (a + 1) / 2 + (b - a - 1);
+  }
+
+  void advance(PairState& st, ProcessId p, ProcessId q, ProcessId deliverer,
+               MsgId m);
+  void appendViolation(Violations& out, ProcessId p, ProcessId q,
+                       const PairState& st) const;
+
+  const Topology* topo_;
+  int n_ = 0;
+  std::vector<PairState> pairs_;
+  uint64_t violatedPairs_ = 0;
+
+  // Destination bits per message, dense by MsgId (ids are sequential).
+  std::vector<uint64_t> destBits_;
+  // Addressee process lists per distinct destination set, cached so the
+  // delivery path never materializes group member vectors.
+  std::map<uint64_t, std::vector<ProcessId>> memberCache_;
+};
+
+}  // namespace wanmc::verify

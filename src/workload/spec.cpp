@@ -17,6 +17,40 @@ const char* modelName(Model m) {
   return "?";
 }
 
+double Spec::nominalRatePerSec() const {
+  auto inverse = [](SimTime gap) {
+    return gap > 0 ? 1e6 / static_cast<double>(gap) : 0.0;
+  };
+  switch (model) {
+    case Model::kClosedLoop:
+      return inverse(interval);
+    case Model::kOpenLoopFixed:
+    case Model::kOpenLoopPoisson:
+      return inverse(meanGap);
+    case Model::kBursty: {
+      // Mean over a whole on+off cycle: onDuration/burstGap casts per
+      // (onDuration + offDuration).
+      const double perCycle = static_cast<double>(
+          std::max<SimTime>(onDuration / std::max<SimTime>(burstGap, 1), 1));
+      const SimTime cycle = std::max<SimTime>(onDuration + offDuration, 1);
+      return perCycle * 1e6 / static_cast<double>(cycle);
+    }
+    case Model::kTraceReplay: {
+      if (trace.size() < 2) return 0;
+      SimTime lo = trace.front().when;
+      SimTime hi = trace.front().when;
+      for (const TraceCast& c : trace) {
+        lo = std::min(lo, c.when);
+        hi = std::max(hi, c.when);
+      }
+      if (hi <= lo) return 0;
+      return static_cast<double>(trace.size() - 1) * 1e6 /
+             static_cast<double>(hi - lo);
+    }
+  }
+  return 0;
+}
+
 SimTime Spec::nominalEnd() const {
   switch (model) {
     case Model::kClosedLoop:

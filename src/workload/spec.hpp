@@ -118,6 +118,14 @@ struct Spec {
   // their nominal spacing, so the bound is deliberately generous; use it
   // to size run horizons, not to assert exact schedules.
   [[nodiscard]] SimTime nominalEnd() const;
+
+  // The offered load this spec is CONFIGURED for, in casts per simulated
+  // second: the inverse mean inter-arrival gap of the model (bursty:
+  // averaged over a whole on+off cycle; trace replay: count over the
+  // replay window). The measured rate (metrics::Summary::offeredPerSec)
+  // can sit below this when a capped closed loop defers arrivals — the
+  // gap between the two is the load-shedding signal.
+  [[nodiscard]] double nominalRatePerSec() const;
 };
 
 // Compact single-line serialization: "model key=value key=value ...".

@@ -62,6 +62,40 @@ TEST(ExportJson, SummaryContainsAggregates) {
   EXPECT_NE(out.find("\"safetyViolations\": []"), std::string::npos);
 }
 
+TEST(ExportJson, SummaryCarriesStreamingMetrics) {
+  auto r = sampleRun();
+  std::ostringstream os;
+  core::writeSummaryJson(r, os);
+  const std::string out = os.str();
+  // The redesigned summary is built on RunResult::metrics: percentile
+  // block (now with p99), rates, breakdowns, quiescence.
+  EXPECT_NE(out.find("\"wallLatencyUs\""), std::string::npos);
+  EXPECT_NE(out.find("\"p99\""), std::string::npos);
+  EXPECT_NE(out.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(out.find("\"completed\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"fullyDelivered\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"goodputPerSec\""), std::string::npos);
+  EXPECT_NE(out.find("\"perGroupLatencyUs\""), std::string::npos);
+  EXPECT_NE(out.find("\"perDestSizeLatencyUs\""), std::string::npos);
+  EXPECT_NE(out.find("\"quiescence\""), std::string::npos);
+}
+
+TEST(ExportCsv, LatencyCsvHasScopedPercentileRows) {
+  auto r = sampleRun();
+  std::ostringstream os;
+  core::writeLatencyCsv(r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("scope,key,count,p50_us,p90_us,p99_us,max_us,mean_us"),
+            std::string::npos);
+  EXPECT_NE(out.find("message,,2,"), std::string::npos);
+  EXPECT_NE(out.find("delivery,,6,"), std::string::npos);
+  EXPECT_NE(out.find("group,0,"), std::string::npos);
+  EXPECT_NE(out.find("group,1,"), std::string::npos);
+  // m1 addressed to 2 groups, m2 to 1: both destsize scopes present.
+  EXPECT_NE(out.find("destsize,1,"), std::string::npos);
+  EXPECT_NE(out.find("destsize,2,"), std::string::npos);
+}
+
 TEST(ExportJson, ViolationsAreReported) {
   // Hand-build a trace with a duplicate delivery.
   core::RunResult r;

@@ -1,0 +1,197 @@
+// Streaming-vs-trace checker equivalence over the full standard matrix
+// (PR 4 acceptance): for every (protocol, scenario, seed) cell, the
+// incremental prefix-order checker fed by the observer-plane event stream
+// must return exactly the violations the O(n^2) trace-based checkers
+// return — uniform AND correct-only — and the streaming metrics Summary
+// must equal the trace-rescan Summary. Synthetic violating traces cover
+// the positive (violation-reporting) paths, which real protocols never
+// exercise.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testing/scenario.hpp"
+#include "verify/streaming.hpp"
+
+namespace wanmc {
+namespace {
+
+using core::ProtocolKind;
+using testing::MatrixOptions;
+using testing::ScenarioResult;
+
+constexpr ProtocolKind kAllProtocols[] = {
+    ProtocolKind::kA1,        ProtocolKind::kFritzke98,
+    ProtocolKind::kDelporte00, ProtocolKind::kRodrigues98,
+    ProtocolKind::kViaBcast,  ProtocolKind::kSkeen87,
+    ProtocolKind::kA2,        ProtocolKind::kSousa02,
+    ProtocolKind::kVicente02, ProtocolKind::kDetMerge00,
+};
+
+// Replays a recorded run into a fresh streaming checker: all casts first
+// (each cast chronologically precedes its deliveries, and the checker
+// keys only on destinations), then deliveries in recorded order — the
+// same per-process and global interleaving the live observer saw.
+verify::StreamingOrderChecker replay(const core::RunResult& r) {
+  verify::StreamingOrderChecker checker(r.topo);
+  for (const auto& c : r.trace.casts) checker.onCast(c);
+  for (const auto& d : r.trace.deliveries) checker.onDeliver(d);
+  return checker;
+}
+
+TEST(StreamingOrder, MatchesTraceCheckersOnFullStandardMatrix) {
+  for (ProtocolKind kind : kAllProtocols) {
+    for (const ScenarioResult& res :
+         runStandardMatrix(kind, MatrixOptions{})) {
+      const auto checker = replay(res.run);
+      const auto ctx = res.run.checkContext();
+      EXPECT_EQ(checker.violations(),
+                verify::checkUniformPrefixOrder(ctx))
+          << res.name;
+      EXPECT_EQ(checker.violations(res.run.correct),
+                verify::checkPrefixOrderCorrectOnly(ctx))
+          << res.name;
+      // And the metrics plane: streaming Summary == trace rescan.
+      EXPECT_EQ(res.run.metrics,
+                metrics::summarizeTrace(res.run.trace, res.run.topo,
+                                        res.run.traffic,
+                                        res.run.lastAlgoSend,
+                                        res.run.endTime))
+          << res.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic violating runs: both checkers must agree on the violation,
+// its position, and its wording.
+// ---------------------------------------------------------------------------
+
+core::RunResult syntheticRun() {
+  core::RunResult r;
+  r.topo = Topology(2, 2);  // p0,p1 in g0; p2,p3 in g1
+  r.correct = {0, 1, 2, 3};
+  return r;
+}
+
+void cast(core::RunResult& r, MsgId m, ProcessId sender, GroupSet dest,
+          SimTime when) {
+  r.trace.casts.push_back(CastEvent{sender, m, dest, 0, when});
+  r.trace.destOf[m] = dest;
+  r.trace.senderOf[m] = sender;
+}
+
+void deliver(core::RunResult& r, ProcessId p, MsgId m, SimTime when) {
+  r.trace.deliveries.push_back(DeliveryEvent{p, m, 0, when, 0});
+}
+
+TEST(StreamingOrder, FlagsSwappedPairIdenticallyToOracle) {
+  auto r = syntheticRun();
+  const GroupSet both = GroupSet::of({0, 1});
+  cast(r, 1, 0, both, 0);
+  cast(r, 2, 2, both, 0);
+  // p0 delivers m1 then m2; p2 delivers m2 then m1: divergence at pos 0.
+  deliver(r, 0, 1, 10);
+  deliver(r, 2, 2, 11);
+  deliver(r, 0, 2, 12);
+  deliver(r, 2, 1, 13);
+  // p1 and p3 agree with p0.
+  for (ProcessId p : {1, 3}) {
+    deliver(r, p, 1, 20);
+    deliver(r, p, 2, 21);
+  }
+
+  const auto checker = replay(r);
+  const auto oracle = verify::checkUniformPrefixOrder(r.checkContext());
+  EXPECT_EQ(checker.violations(), oracle);
+  ASSERT_FALSE(oracle.empty());
+  // p0-vs-p2 and the swapped pair partners: p2 disagrees with p0, p1; p3
+  // disagrees with p2. 3 violated pairs either way.
+  EXPECT_EQ(oracle.size(), 3u);
+  EXPECT_NE(oracle[0].find("between p0 and p2"), std::string::npos);
+  EXPECT_NE(oracle[0].find("at position 0"), std::string::npos);
+  EXPECT_TRUE(checker.anyViolation());
+}
+
+TEST(StreamingOrder, CorrectOnlyFiltersCrashedPairs) {
+  auto r = syntheticRun();
+  const GroupSet both = GroupSet::of({0, 1});
+  cast(r, 1, 0, both, 0);
+  cast(r, 2, 2, both, 0);
+  // Only p3 disagrees, and p3 crashed.
+  for (ProcessId p : {0, 1, 2}) {
+    deliver(r, p, 1, 10);
+    deliver(r, p, 2, 11);
+  }
+  deliver(r, 3, 2, 10);
+  deliver(r, 3, 1, 11);
+  r.correct = {0, 1, 2};
+
+  const auto checker = replay(r);
+  const auto ctx = r.checkContext();
+  EXPECT_EQ(checker.violations(), verify::checkUniformPrefixOrder(ctx));
+  EXPECT_FALSE(checker.violations().empty());  // uniform: p3 counts
+  EXPECT_EQ(checker.violations(r.correct),
+            verify::checkPrefixOrderCorrectOnly(ctx));
+  EXPECT_TRUE(checker.violations(r.correct).empty());  // correct-only: not
+}
+
+TEST(StreamingOrder, DivergenceDeepInSequenceReportsPosition) {
+  auto r = syntheticRun();
+  const GroupSet both = GroupSet::of({0, 1});
+  for (MsgId m = 1; m <= 6; ++m) cast(r, m, 0, both, 0);
+  // All four processes agree on m1..m4; p0/p1 then deliver m5,m6 while
+  // p2/p3 deliver m6,m5.
+  for (ProcessId p : {0, 1, 2, 3})
+    for (MsgId m = 1; m <= 4; ++m) deliver(r, p, m, 10 + m);
+  for (ProcessId p : {0, 1}) {
+    deliver(r, p, 5, 20);
+    deliver(r, p, 6, 21);
+  }
+  for (ProcessId p : {2, 3}) {
+    deliver(r, p, 6, 20);
+    deliver(r, p, 5, 21);
+  }
+
+  const auto checker = replay(r);
+  const auto oracle = verify::checkUniformPrefixOrder(r.checkContext());
+  EXPECT_EQ(checker.violations(), oracle);
+  ASSERT_EQ(oracle.size(), 4u);  // the four cross pairs
+  EXPECT_NE(oracle[0].find("at position 4: m5 vs m6"), std::string::npos);
+}
+
+TEST(StreamingOrder, PrefixTruncationIsNotAViolation) {
+  auto r = syntheticRun();
+  const GroupSet both = GroupSet::of({0, 1});
+  cast(r, 1, 0, both, 0);
+  cast(r, 2, 0, both, 1);
+  // p2 stops after m1 (a strict prefix of p0's sequence): legal.
+  deliver(r, 0, 1, 10);
+  deliver(r, 0, 2, 11);
+  deliver(r, 2, 1, 10);
+  for (ProcessId p : {1, 3}) {
+    deliver(r, p, 1, 12);
+    deliver(r, p, 2, 13);
+  }
+
+  const auto checker = replay(r);
+  EXPECT_EQ(checker.violations(),
+            verify::checkUniformPrefixOrder(r.checkContext()));
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST(StreamingOrder, IgnoresNonAddresseesAndUnknownMessages) {
+  auto r = syntheticRun();
+  cast(r, 1, 0, GroupSet::of({0}), 0);  // g0 only
+  deliver(r, 0, 1, 10);
+  deliver(r, 1, 1, 11);
+  deliver(r, 2, 1, 12);   // p2 is not an addressee (integrity's problem)
+  deliver(r, 3, 99, 13);  // never cast
+  const auto checker = replay(r);
+  EXPECT_EQ(checker.violations(),
+            verify::checkUniformPrefixOrder(r.checkContext()));
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+}  // namespace
+}  // namespace wanmc
