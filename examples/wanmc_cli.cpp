@@ -21,17 +21,30 @@
 //                to a file. `sweep` accepts only --csv-out (the sweep CSV)
 //   --inter-ms / --intra-us   link latencies (fixed)
 //   --crash <pid>:<ms>        schedule a crash (repeatable)
+//   --recover <pid>:<ms>      schedule a recovery (fresh incarnation,
+//                             reset state; no-op if alive; repeatable)
+//   --partition <g,g,..>:<fromMs>:<untilMs>
+//                             cut those groups off for [from, until)ms;
+//                             `untilMs` = "never" keeps the cut
+//                             (repeatable). Bad pids/groups/windows are
+//                             rejected up front, not silently ignored.
 //
 // `sweep` flags: --points K, --casts M, --cap C, --seeds S, --jobs J,
 // --interval-max-ms / --interval-min-ms (ladder endpoints), plus
-// --protocol/--groups/--procs/--dest-groups/--seed/--inter-ms/--intra-us.
+// --protocol/--groups/--procs/--dest-groups/--seed/--inter-ms/--intra-us,
+// and --check-baseline FILE [--tolerance F]: compare this sweep's p50/p99
+// per load point against a baseline CSV and exit 1 on a >F regression
+// (default 0.25) — the CI percentile gate.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/export.hpp"
@@ -75,6 +88,138 @@ void writeFileOrDie(const std::string& path, const std::string& text) {
   f << text;
 }
 
+// Strict integer parse: the whole token must be a number (silent
+// tail-garbage acceptance is how bad fault schedules sneak through).
+long long parseIntOrDie(const std::string& s, const char* what) {
+  size_t used = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(s, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != s.size() || s.empty()) {
+    std::fprintf(stderr, "%s: '%s' is not a number\n", what, s.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+// "<pid>:<ms>" for --crash / --recover.
+std::pair<ProcessId, SimTime> parsePidAtMs(const std::string& v,
+                                           const char* flag) {
+  const auto colon = v.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= v.size()) {
+    std::fprintf(stderr, "%s expects <pid>:<ms>, got '%s'\n", flag,
+                 v.c_str());
+    std::exit(2);
+  }
+  return {static_cast<ProcessId>(
+              parseIntOrDie(v.substr(0, colon), flag)),
+          parseIntOrDie(v.substr(colon + 1), flag) * kMs};
+}
+
+// "<g,g,..>:<fromMs>:<untilMs|never>" for --partition.
+struct PartitionArg {
+  GroupSet side;
+  SimTime from = 0;
+  SimTime until = kTimeNever;
+};
+PartitionArg parsePartition(const std::string& v) {
+  const auto c1 = v.find(':');
+  const auto c2 = c1 == std::string::npos ? std::string::npos
+                                          : v.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    std::fprintf(stderr,
+                 "--partition expects <g,g,..>:<fromMs>:<untilMs|never>, "
+                 "got '%s'\n",
+                 v.c_str());
+    std::exit(2);
+  }
+  PartitionArg out;
+  std::string groups = v.substr(0, c1);
+  size_t pos = 0;
+  while (pos <= groups.size()) {
+    const auto comma = groups.find(',', pos);
+    const std::string tok =
+        groups.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos);
+    const long long g = parseIntOrDie(tok, "--partition group");
+    if (g < 0 || g >= 64) {
+      std::fprintf(stderr, "--partition: group %lld out of range\n", g);
+      std::exit(2);
+    }
+    out.side.add(static_cast<GroupId>(g));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  out.from = parseIntOrDie(v.substr(c1 + 1, c2 - c1 - 1),
+                           "--partition fromMs") * kMs;
+  const std::string untilTok = v.substr(c2 + 1);
+  if (untilTok != "never")
+    out.until = parseIntOrDie(untilTok, "--partition untilMs") * kMs;
+  return out;
+}
+
+// Baseline comparison for `sweep --check-baseline`: per load point
+// (keyed by interval_us), p50 and p99 may not regress by more than
+// `tolerance` (fractional). Returns the number of violations.
+int checkSweepBaseline(const std::vector<metrics::SweepPoint>& points,
+                       const std::string& baselinePath, double tolerance) {
+  std::ifstream in(baselinePath);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baselinePath.c_str());
+    return 1;
+  }
+  // writeSweepCsv layout: interval_us,offered,goodput,p50,p90,p99,...
+  std::map<long long, std::pair<double, double>> base;  // interval -> p50,p99
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    std::vector<std::string> cols;
+    std::stringstream ss(line);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) cols.push_back(tok);
+    if (cols.size() < 6) continue;
+    base[std::atoll(cols[0].c_str())] = {std::atof(cols[3].c_str()),
+                                         std::atof(cols[5].c_str())};
+  }
+  int bad = 0;
+  auto gate = [&](long long interval, const char* name, double now,
+                  double was) {
+    if (was <= 0) return;
+    const double ratio = now / was;
+    if (ratio > 1.0 + tolerance) {
+      std::fprintf(stderr,
+                   "sweep gate: %s at interval %lldus regressed %.1f%% "
+                   "(%.0fus -> %.0fus, tolerance %.0f%%)\n",
+                   name, interval, (ratio - 1.0) * 100.0, was, now,
+                   tolerance * 100.0);
+      ++bad;
+    }
+  };
+  int matched = 0;
+  for (const auto& p : points) {
+    auto it = base.find(static_cast<long long>(p.interval));
+    if (it == base.end()) continue;
+    ++matched;
+    gate(p.interval, "p50", static_cast<double>(p.latency.p50),
+         it->second.first);
+    gate(p.interval, "p99", static_cast<double>(p.latency.p99),
+         it->second.second);
+  }
+  if (matched == 0) {
+    std::fprintf(stderr,
+                 "sweep gate: no load point of the baseline matches this "
+                 "sweep (different ladder?)\n");
+    return 1;
+  }
+  if (bad == 0)
+    std::fprintf(stderr, "sweep gate: %d load points within %.0f%% of %s\n",
+                 matched, tolerance * 100.0, baselinePath.c_str());
+  return bad;
+}
+
 // `wanmc_cli sweep ...`: the closed-loop offered-load ladder, one
 // latency-vs-throughput CSV row per load point (metrics/sweep.hpp).
 int sweepMain(int argc, char** argv) {
@@ -84,6 +229,8 @@ int sweepMain(int argc, char** argv) {
   SimTime slowest = 256 * kMs;
   SimTime fastest = 4 * kMs;
   std::string csvOut;
+  std::string baseline;
+  double tolerance = 0.25;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,12 +265,17 @@ int sweepMain(int argc, char** argv) {
       opt.base.latency.intraMin = opt.base.latency.intraMax = v;
     } else if (arg == "--csv-out") {
       csvOut = next();
+    } else if (arg == "--check-baseline") {
+      baseline = next();
+    } else if (arg == "--tolerance") {
+      tolerance = std::atof(next().c_str());
     } else if (arg == "--help") {
       std::printf(
           "usage: wanmc_cli sweep [--protocol P] [--groups N] [--procs D] "
           "[--points K] [--casts M] [--cap C] [--seeds S] [--jobs J] "
           "[--dest-groups G] [--interval-max-ms A] [--interval-min-ms B] "
-          "[--seed S] [--inter-ms L] [--intra-us U] [--csv-out FILE]\n");
+          "[--seed S] [--inter-ms L] [--intra-us U] [--csv-out FILE] "
+          "[--check-baseline FILE [--tolerance F]]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown sweep flag '%s' (try sweep --help)\n",
@@ -139,12 +291,18 @@ int sweepMain(int argc, char** argv) {
                  points, opt.casts, opt.seedsPerPoint);
     return 2;
   }
+  if (tolerance <= 0) {
+    std::fprintf(stderr, "sweep: --tolerance must be positive\n");
+    return 2;
+  }
   opt.intervals = metrics::defaultLoadLadder(points, slowest, fastest);
   const auto curve = metrics::runLatencyThroughputSweep(opt);
   std::ostringstream os;
   metrics::writeSweepCsv(curve, os);
   std::fputs(os.str().c_str(), stdout);
   if (!csvOut.empty()) writeFileOrDie(csvOut, os.str());
+  if (!baseline.empty() && checkSweepBaseline(curve, baseline, tolerance) > 0)
+    return 1;
   return 0;
 }
 
@@ -161,6 +319,8 @@ int main(int argc, char** argv) {
   std::string jsonOut;
   std::string csvOut;
   std::vector<std::pair<ProcessId, SimTime>> crashes;
+  std::vector<std::pair<ProcessId, SimTime>> recoveries;
+  std::vector<PartitionArg> partitions;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -213,10 +373,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--csv-out") {
       csvOut = next();
     } else if (arg == "--crash") {
-      const std::string v = next();
-      const auto colon = v.find(':');
-      crashes.push_back({std::atoi(v.substr(0, colon).c_str()),
-                         std::atoi(v.substr(colon + 1).c_str()) * kMs});
+      crashes.push_back(parsePidAtMs(next(), "--crash"));
+    } else if (arg == "--recover") {
+      recoveries.push_back(parsePidAtMs(next(), "--recover"));
+    } else if (arg == "--partition") {
+      partitions.push_back(parsePartition(next()));
     } else if (arg == "--help") {
       std::printf("usage: wanmc_cli [sweep] [--protocol P] [--groups N] "
                   "[--procs D] "
@@ -226,6 +387,7 @@ int main(int argc, char** argv) {
                   "[--burst-on-ms A] [--burst-off-ms B] [--burst-gap-ms G] "
                   "[--workload-spec \"MODEL k=v ...\"] "
                   "[--seed S] [--inter-ms L] [--intra-us U] [--crash pid:ms] "
+                  "[--recover pid:ms] [--partition g,g:fromMs:untilMs|never] "
                   "[--format summary|messages|deliveries|latency] "
                   "[--json-out FILE] [--csv-out FILE]\n"
                   "       wanmc_cli sweep --help   for the sweep flags\n");
@@ -236,8 +398,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Recovery runs need the consensus round timeout armed (see
+  // StackConfig::consensusRoundTimeout) — same default ScenarioRunner uses.
+  if (!recoveries.empty() && cfg.stack.consensusRoundTimeout == 0)
+    cfg.stack.consensusRoundTimeout = 500 * kMs;
+
   core::Experiment ex(cfg);
-  for (auto [pid, when] : crashes) ex.crashAt(pid, when);
+  try {
+    for (auto [pid, when] : crashes) ex.crashAt(pid, when);
+    for (auto [pid, when] : recoveries) ex.recoverAt(pid, when);
+    for (const auto& p : partitions) ex.partitionAt(p.side, p.from, p.until);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "invalid fault schedule: %s\n", e.what());
+    return 2;
+  }
   ex.addWorkload(spec);
   // DetMerge00's heartbeats never quiesce: bound its run near the end of
   // the arrival schedule instead of waiting out the full horizon.
@@ -247,8 +421,18 @@ int main(int argc, char** argv) {
   auto r = ex.run(horizon);
 
   // The safety suite runs ONCE: its verdict feeds the summary JSON (both
-  // copies) and the exit code.
-  const auto violations = r.checkAtomicSuite();
+  // copies) and the exit code. A partition legitimately loses messages —
+  // delivery obligations are void (same rule the scenario harness applies)
+  // — so those runs check safety only: integrity + uniform prefix order.
+  verify::Violations violations;
+  if (partitions.empty()) {
+    violations = r.checkAtomicSuite();
+  } else {
+    const auto ctx = r.checkContext();
+    violations = verify::checkUniformIntegrity(ctx);
+    auto order = verify::checkUniformPrefixOrder(ctx);
+    violations.insert(violations.end(), order.begin(), order.end());
+  }
   std::string summaryText;
   auto summaryJson = [&]() -> const std::string& {
     if (summaryText.empty()) {

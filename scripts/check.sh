@@ -4,6 +4,8 @@
 #   scripts/check.sh unit       ... only the fast unit tier
 #   scripts/check.sh scenario   ... only the seed-sweep / matrix tier
 #   scripts/check.sh bench      ... bench smoke + perf-regression gate
+#   scripts/check.sh sanitize   ... ASan+UBSan Debug build, unit+scenario
+#                                   (the CI `sanitize` job, locally)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,8 +14,10 @@ TIER="${1:-all}"
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j "$JOBS"
+if [[ "$TIER" != "sanitize" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+fi
 
 case "$TIER" in
   all)      ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" ;;
@@ -23,8 +27,15 @@ case "$TIER" in
     OUT="$BUILD_DIR/bench_smoke.json" scripts/bench.sh --quick \
       --check BENCH_PR4.json
     ;;
+  sanitize)
+    ASAN_DIR="${ASAN_DIR:-build-asan}"
+    cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DWANMC_SANITIZE=ON \
+      -DWANMC_BUILD_BENCH=OFF -DWANMC_BUILD_EXAMPLES=OFF
+    cmake --build "$ASAN_DIR" -j "$JOBS"
+    ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS"
+    ;;
   *)
-    echo "usage: $0 [all|unit|scenario|bench]" >&2
+    echo "usage: $0 [all|unit|scenario|bench|sanitize]" >&2
     exit 2
     ;;
 esac

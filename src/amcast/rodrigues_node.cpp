@@ -8,6 +8,15 @@ namespace wanmc::amcast {
 RodriguesNode::RodriguesNode(sim::Runtime& rt, ProcessId pid,
                              const core::StackConfig& cfg)
     : core::XcastNode(rt, pid, cfg) {
+  // Votes and consensus run ACROSS the destination groups, so suspicion of
+  // REMOTE processes matters here — unlike the group-scoped stacks. Widen
+  // the detector to every other group: the oracle is global already (this
+  // is a no-op), and the heartbeat detector adds one inter-group lane per
+  // remote group, closing the PR 1 gap where a remote crash under
+  // HeartbeatFd went unnoticed and the vote quorum hung forever.
+  for (GroupId g = 0; g < topology().numGroups(); ++g)
+    if (g != gid()) fd().addRemoteGroup(g, topology().members(g));
+
   // A crash can be the event that completes a vote quorum: maybePropose
   // waits for every unsuspected destination process, so a new suspicion
   // must re-evaluate every pending message or the survivors hang.
@@ -16,6 +25,22 @@ RodriguesNode::RodriguesNode(sim::Runtime& rt, ProcessId pid,
     ids.reserve(pending_.size());
     for (const auto& [id, p] : pending_) ids.push_back(id);
     for (MsgId id : ids) maybePropose(id);
+  });
+
+  // And the dual, for the retraction side of fault plane v2: once a
+  // suspicion is retracted (the process recovered, or a healed partition
+  // let its heartbeats through again), the vote quorum waits on that
+  // process AGAIN — but it may have missed the kData while unreachable
+  // and then it will never vote. Re-introduce every pending message it
+  // owes a vote on; noteMessage dedups at the receiver, so this is
+  // idempotent for a process that merely timed out spuriously.
+  fd().onRetraction([this](ProcessId p) {
+    const GroupId pg = topology().group(p);
+    for (const auto& [id, pend] : pending_) {
+      if (pend.votes.count(p) != 0 || !pend.msg->dest.contains(pg)) continue;
+      send(p, std::make_shared<const RodriguesPayload>(
+                  RodriguesPayload::Kind::kData, pend.msg, 0));
+    }
   });
 }
 

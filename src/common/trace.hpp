@@ -37,6 +37,29 @@ struct CastEvent {
   SimTime when = 0;
 };
 
+// One benign crash (crash-stop until recovered).
+struct CrashEvent {
+  ProcessId process = kNoProcess;
+  SimTime when = 0;
+};
+
+// One process recovery: the process rejoins with RESET protocol state (the
+// crash-recovery model without stable storage — an amnesiac rejoin). The
+// runtime bumps the process's incarnation; verifiers use these events to
+// segment a recovered process's deliveries by incarnation.
+struct RecoveryEvent {
+  ProcessId process = kNoProcess;
+  SimTime when = 0;
+};
+
+// One network-partition transition: `side` (GroupSet bits) is cut from (or
+// re-joined to) the rest of the topology.
+struct PartitionEvent {
+  bool cut = true;  // false: heal
+  uint64_t side = 0;
+  SimTime when = 0;
+};
+
 // One packet on the wire (for message-complexity accounting and for the
 // genuineness / quiescence checkers).
 struct WireEvent {
@@ -52,6 +75,12 @@ struct RunTrace {
   std::vector<CastEvent> casts;
   std::vector<DeliveryEvent> deliveries;
   std::vector<WireEvent> wire;  // populated when Network::recordWire is on
+  // Fault-plane events (always recorded; empty in fault-free runs).
+  std::vector<CrashEvent> crashes;
+  std::vector<RecoveryEvent> recoveries;
+  std::vector<PartitionEvent> partitions;
+  // Wire copies discarded because their link was cut at send time.
+  uint64_t linkDrops = 0;
   std::map<MsgId, GroupSet> destOf;
   std::map<MsgId, ProcessId> senderOf;
 
@@ -123,6 +152,28 @@ struct RunTrace {
     return best;
   }
 };
+
+// Fault-plane counters: one block of the metrics Summary. Derived from the
+// RunTrace (see faultStatsOf) so the streaming recorder and the offline
+// summarizeTrace fallback stay field-for-field identical.
+struct FaultStats {
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t partitionsCut = 0;
+  uint64_t partitionsHealed = 0;
+  uint64_t linkDrops = 0;  // copies discarded on a cut link
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+[[nodiscard]] inline FaultStats faultStatsOf(const RunTrace& t) {
+  FaultStats out;
+  out.crashes = t.crashes.size();
+  out.recoveries = t.recoveries.size();
+  for (const auto& p : t.partitions) (p.cut ? out.partitionsCut
+                                            : out.partitionsHealed)++;
+  out.linkDrops = t.linkDrops;
+  return out;
+}
 
 // Per-layer message counters, split intra/inter group.
 struct TrafficStats {

@@ -1,5 +1,6 @@
 #include "consensus/consensus.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace wanmc::consensus {
@@ -34,14 +35,26 @@ std::shared_ptr<const ConsensusPayload> makePayload(
 
 }  // namespace
 
+bool ConsensusService::maybeRetransmitDecision(ProcessId from, Instance k) {
+  if (roundTimeout_ == 0) return false;
+  auto it = decided_.find(k);
+  if (it == decided_.end()) return false;
+  rt_.send(self_, from,
+           makePayload(scope_, k, 0, ConsensusPayload::Type::kDecide,
+                       it->second));
+  return true;
+}
+
 // ===========================================================================
 // EarlyConsensus
 // ===========================================================================
 
 EarlyConsensus::EarlyConsensus(sim::Runtime& rt, ProcessId self,
                                std::vector<ProcessId> members,
-                               fd::FailureDetector* fd, uint64_t scope)
-    : ConsensusService(rt, self, std::move(members), fd, scope) {
+                               fd::FailureDetector* fd, uint64_t scope,
+                               SimTime roundTimeout)
+    : ConsensusService(rt, self, std::move(members), fd, scope,
+                       roundTimeout) {
   if (fd_ != nullptr)
     fd_->onSuspicion([this](ProcessId p) { onSuspicion(p); });
 }
@@ -82,6 +95,23 @@ void EarlyConsensus::enterRound(Instance k, uint32_t r) {
     }
     break;
   }
+  armRoundTimer(k, st.round);
+}
+
+void EarlyConsensus::armRoundTimer(Instance k, uint32_t r) {
+  // Progress under crash-recovery: a round's coordinator can be alive —
+  // so the detector never suspects it — yet an amnesiac rejoin that knows
+  // nothing of this instance and proposes nothing, ever. Round changes
+  // are always safe in an indulgent protocol (the locking rule protects
+  // agreement), so after `roundTimeout_` of no decision we move on as if
+  // the coordinator had been suspected. Unarmed (0) outside recovery
+  // runs: every pre-v2 schedule is preserved exactly.
+  if (roundTimeout_ == 0) return;
+  rt_.timer(self_, roundTimeout_, [this, k, r]() {
+    auto& st = state(k);
+    if (st.decidedFlag || !st.joined || st.round != r) return;  // stale
+    enterRound(k, r + 1);
+  });
 }
 
 void EarlyConsensus::coordinatorMaybePropose(Instance k, uint32_t r) {
@@ -128,13 +158,40 @@ void EarlyConsensus::onMessage(ProcessId from, const ConsensusPayload& p) {
   auto& st = state(p.instance);
   switch (p.type) {
     case ConsensusPayload::Type::kEstimate: {
+      // A straggler still campaigning in an instance we decided is an
+      // amnesiac rejoin catching up: hand it the decision (recovery runs
+      // only — see maybeRetransmitDecision).
+      if (maybeRetransmitDecision(from, p.instance)) break;
       auto& rs = st.rounds[p.round];
       rs.estimates[from] = Estimate{p.value, p.estRound};
+      // Amnesiac join (recovery runs): an estimate for an instance we
+      // hold no state for means our dead incarnation took part and the
+      // quorum may INCLUDE us (it does when every member is needed).
+      // Adopt the estimate — value and lock tag travel together, so the
+      // locking rule stays intact — and enter the round so the
+      // coordinator can count us toward its majority.
+      if (roundTimeout_ != 0 && !st.joined && !st.decidedFlag) {
+        st.joined = true;
+        st.estimate = p.value;
+        st.estRound = p.estRound;
+        enterRound(p.instance, std::max(st.round, p.round));
+      }
       coordinatorMaybePropose(p.instance, p.round);
       break;
     }
     case ConsensusPayload::Type::kPropose: {
-      if (st.decidedFlag || p.round < st.round) return;
+      if (st.decidedFlag || p.round < st.round) {
+        // Timeout-driven round advances (recovery runs) can leave cohorts
+        // permanently one round apart: the ahead side silently rejects
+        // every lower-round proposal and no round ever collects a
+        // majority. Tell the stale proposer which round we are in; it
+        // catches up (kNack handler) and the rounds re-synchronize.
+        if (roundTimeout_ != 0 && !st.decidedFlag && p.round < st.round)
+          rt_.send(self_, from,
+                   makePayload(scope_, p.instance, st.round,
+                               ConsensusPayload::Type::kNack));
+        return;
+      }
       st.round = p.round;
       st.joined = true;  // adopting a proposal joins the instance
       st.estimate = p.value;
@@ -147,6 +204,9 @@ void EarlyConsensus::onMessage(ProcessId from, const ConsensusPayload& p) {
         broadcast(makePayload(scope_, p.instance, p.round,
                               ConsensusPayload::Type::kAck, p.value));
       }
+      // The adoption path bypasses enterRound: keep the progress timer
+      // armed for the round we locked in (stale firings no-op).
+      armRoundTimer(p.instance, p.round);
       break;
     }
     case ConsensusPayload::Type::kAck: {
@@ -157,7 +217,14 @@ void EarlyConsensus::onMessage(ProcessId from, const ConsensusPayload& p) {
       break;
     }
     case ConsensusPayload::Type::kNack:
-      break;  // unused by this protocol
+      // Round catch-up (recovery runs): a peer rejected our proposal
+      // because it is already in a higher round — join that round instead
+      // of discovering it one timeout at a time. Round jumps are always
+      // safe; only the locking rule guards agreement.
+      if (roundTimeout_ != 0 && st.joined && !st.decidedFlag &&
+          p.round > st.round)
+        enterRound(p.instance, p.round);
+      break;
     case ConsensusPayload::Type::kDecide: {
       if (!st.decidedFlag) {
         st.decidedFlag = true;
@@ -190,8 +257,10 @@ void EarlyConsensus::onSuspicion(ProcessId p) {
 
 CtConsensus::CtConsensus(sim::Runtime& rt, ProcessId self,
                          std::vector<ProcessId> members,
-                         fd::FailureDetector* fd, uint64_t scope)
-    : ConsensusService(rt, self, std::move(members), fd, scope) {
+                         fd::FailureDetector* fd, uint64_t scope,
+                         SimTime roundTimeout)
+    : ConsensusService(rt, self, std::move(members), fd, scope,
+                       roundTimeout) {
   if (fd_ != nullptr)
     fd_->onSuspicion([this](ProcessId p) { onSuspicion(p); });
 }
@@ -227,6 +296,24 @@ void CtConsensus::startRound(Instance k) {
     }
     break;
   }
+  armRoundTimer(k, st.round);
+}
+
+void CtConsensus::armRoundTimer(Instance k, uint32_t r) {
+  // Same crash-recovery progress rule as EarlyConsensus::armRoundTimer:
+  // nack an alive-but-amnesiac coordinator after `roundTimeout_` and move
+  // on, exactly as a suspicion would. Unarmed outside recovery runs.
+  if (roundTimeout_ == 0) return;
+  rt_.timer(self_, roundTimeout_, [this, k, r]() {
+    auto& st = state(k);
+    if (st.decidedFlag || !st.joined || st.round != r) return;  // stale
+    if (st.repliedThisRound) return;  // phase 3 done: pipeline advances
+    st.repliedThisRound = true;
+    rt_.send(self_, coordinator(k, r),
+             makePayload(scope_, k, r, ConsensusPayload::Type::kNack));
+    ++st.round;
+    startRound(k);
+  });
 }
 
 void CtConsensus::coordinatorMaybePropose(Instance k, uint32_t r) {
@@ -274,15 +361,31 @@ void CtConsensus::onMessage(ProcessId from, const ConsensusPayload& p) {
   auto& st = state(p.instance);
   switch (p.type) {
     case ConsensusPayload::Type::kEstimate: {
+      if (maybeRetransmitDecision(from, p.instance)) break;
       auto& rs = st.rounds[p.round];
       rs.estimates[from] = {p.value, p.estRound};
+      // Amnesiac join, as in EarlyConsensus (recovery runs only).
+      if (roundTimeout_ != 0 && !st.joined && !st.decidedFlag) {
+        st.joined = true;
+        st.estimate = p.value;
+        st.estRound = p.estRound;
+        st.round = std::max(st.round, p.round);
+        startRound(p.instance);
+      }
       coordinatorMaybePropose(p.instance, p.round);
       break;
     }
     case ConsensusPayload::Type::kPropose: {
       proposals_[{p.instance, p.round}] = p.value;
       if (st.decidedFlag) return;
-      if (p.round < st.round) return;
+      if (p.round < st.round) {
+        // Same stale-proposer catch-up as EarlyConsensus (recovery runs).
+        if (roundTimeout_ != 0)
+          rt_.send(self_, from,
+                   makePayload(scope_, p.instance, st.round,
+                               ConsensusPayload::Type::kNack));
+        return;
+      }
       st.round = p.round;
       st.joined = true;
       st.estimate = p.value;
@@ -304,6 +407,15 @@ void CtConsensus::onMessage(ProcessId from, const ConsensusPayload& p) {
       break;
     }
     case ConsensusPayload::Type::kNack: {
+      // Round catch-up (recovery runs): a nack from a higher round means
+      // we are the stale one — jump there instead of pipelining through
+      // every round in between.
+      if (roundTimeout_ != 0 && st.joined && !st.decidedFlag &&
+          p.round > st.round) {
+        st.round = p.round;
+        startRound(p.instance);
+        break;
+      }
       st.rounds[p.round].nacks.insert(from);
       coordinatorMaybeConclude(p.instance, p.round);
       break;
@@ -341,14 +453,15 @@ void CtConsensus::onSuspicion(ProcessId p) {
 
 std::unique_ptr<ConsensusService> makeConsensus(
     ConsensusKind kind, sim::Runtime& rt, ProcessId self,
-    std::vector<ProcessId> members, fd::FailureDetector* fd, uint64_t scope) {
+    std::vector<ProcessId> members, fd::FailureDetector* fd, uint64_t scope,
+    SimTime roundTimeout) {
   switch (kind) {
     case ConsensusKind::kEarly:
       return std::make_unique<EarlyConsensus>(rt, self, std::move(members),
-                                              fd, scope);
+                                              fd, scope, roundTimeout);
     case ConsensusKind::kCt:
       return std::make_unique<CtConsensus>(rt, self, std::move(members), fd,
-                                           scope);
+                                           scope, roundTimeout);
   }
   return nullptr;
 }

@@ -59,14 +59,20 @@ class ConsensusService {
  public:
   using DecideCb = std::function<void(Instance, const ConsensusValue&)>;
 
+  // `roundTimeout` > 0 arms a per-round progress timer (see the class
+  // comments below): required for liveness under crash-RECOVERY, where a
+  // round's coordinator can be alive (so never suspected) yet amnesiac
+  // about the instance and silent forever. 0 (the default) relies purely
+  // on failure-detector suspicion, the pre-v2 behavior.
   ConsensusService(sim::Runtime& rt, ProcessId self,
                    std::vector<ProcessId> members, fd::FailureDetector* fd,
-                   uint64_t scope)
+                   uint64_t scope, SimTime roundTimeout = 0)
       : rt_(rt),
         self_(self),
         members_(std::move(members)),
         fd_(fd),
-        scope_(scope) {}
+        scope_(scope),
+        roundTimeout_(roundTimeout) {}
   virtual ~ConsensusService() = default;
 
   ConsensusService(const ConsensusService&) = delete;
@@ -101,11 +107,19 @@ class ConsensusService {
     for (const auto& cb : decideCbs_) cb(k, v);
   }
 
+  // Decision retransmission (armed with the round timeout): an estimate
+  // for an instance we already decided means the sender is stuck in a
+  // round the rest of us finished long ago — an amnesiac rejoin catching
+  // up. Reply with the decision. Gated on roundTimeout_ so runs without
+  // recovery keep their exact pre-v2 message traffic.
+  bool maybeRetransmitDecision(ProcessId from, Instance k);
+
   sim::Runtime& rt_;
   ProcessId self_;
   std::vector<ProcessId> members_;
   fd::FailureDetector* fd_;
   uint64_t scope_;
+  SimTime roundTimeout_ = 0;
   std::map<Instance, ConsensusValue> decided_;
 
  private:
@@ -119,7 +133,7 @@ class EarlyConsensus final : public ConsensusService {
  public:
   EarlyConsensus(sim::Runtime& rt, ProcessId self,
                  std::vector<ProcessId> members, fd::FailureDetector* fd,
-                 uint64_t scope);
+                 uint64_t scope, SimTime roundTimeout = 0);
 
   void propose(Instance k, ConsensusValue v) override;
   void onMessage(ProcessId from, const ConsensusPayload& p) override;
@@ -152,6 +166,7 @@ class EarlyConsensus final : public ConsensusService {
   void coordinatorMaybePropose(Instance k, uint32_t r);
   void maybeDecideOnAcks(Instance k, uint32_t r);
   void onSuspicion(ProcessId p);
+  void armRoundTimer(Instance k, uint32_t r);
   void sendToCoord(Instance k, uint32_t r,
                    const std::shared_ptr<const ConsensusPayload>& p) {
     rt_.send(self_, coordinator(k, r), p);
@@ -167,7 +182,7 @@ class CtConsensus final : public ConsensusService {
  public:
   CtConsensus(sim::Runtime& rt, ProcessId self,
               std::vector<ProcessId> members, fd::FailureDetector* fd,
-              uint64_t scope);
+              uint64_t scope, SimTime roundTimeout = 0);
 
   void propose(Instance k, ConsensusValue v) override;
   void onMessage(ProcessId from, const ConsensusPayload& p) override;
@@ -197,6 +212,7 @@ class CtConsensus final : public ConsensusService {
   void coordinatorMaybePropose(Instance k, uint32_t r);
   void coordinatorMaybeConclude(Instance k, uint32_t r);
   void onSuspicion(ProcessId p);
+  void armRoundTimer(Instance k, uint32_t r);
   [[nodiscard]] const ConsensusValue& proposalOf(Instance k, uint32_t r) {
     return proposals_[{k, r}];
   }
@@ -211,6 +227,7 @@ enum class ConsensusKind { kEarly, kCt };
 
 std::unique_ptr<ConsensusService> makeConsensus(
     ConsensusKind kind, sim::Runtime& rt, ProcessId self,
-    std::vector<ProcessId> members, fd::FailureDetector* fd, uint64_t scope);
+    std::vector<ProcessId> members, fd::FailureDetector* fd, uint64_t scope,
+    SimTime roundTimeout = 0);
 
 }  // namespace wanmc::consensus

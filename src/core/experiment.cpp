@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
@@ -101,6 +102,14 @@ Experiment::Experiment(RunConfig cfg) : cfg_(cfg) {
     nodes_.push_back(node.get());
     rt_->attach(p, std::move(node));
   }
+  // Recovery rebuilds a crashed process's stack from the same config; the
+  // factory also refreshes the experiment's node table so node(pid) always
+  // resolves to the live incarnation.
+  rt_->setNodeFactory([this](ProcessId p) -> std::unique_ptr<sim::Node> {
+    auto node = makeNode(cfg_.protocol, *rt_, p, cfg_);
+    nodes_[static_cast<size_t>(p)] = node.get();
+    return node;
+  });
   if (cfg_.workload) addWorkload(*cfg_.workload);
 }
 
@@ -164,8 +173,14 @@ MsgId Experiment::castAt(SimTime when, ProcessId sender, GroupSet dest,
   checkMsgIdCeiling(1);
   const MsgId id = nextMsgId_++;
   auto msg = makeAppMessage(id, sender, dest, std::move(body));
-  rt_->timer(sender, when - rt_->now(),
-             [this, sender, msg]() { node(sender).xcast(msg); });
+  // Scheduled directly, not via the incarnation-bound Runtime::timer: a
+  // cast is a harness event, not protocol state of the incarnation that
+  // scheduled it. It fires iff the sender is alive AT CAST TIME — a
+  // crashed sender casts nothing (as before), a crash-recovered one
+  // casts again (same rule as issueWorkloadCast).
+  rt_->scheduler().at(std::max(when, rt_->now()), [this, sender, msg]() {
+    if (!rt_->crashed(sender)) node(sender).xcast(msg);
+  });
   return id;
 }
 
@@ -222,9 +237,31 @@ MsgId Experiment::castAllAt(SimTime when, ProcessId sender,
   return castAt(when, sender, rt_->topology().allGroups(), std::move(body));
 }
 
+void Experiment::checkPid(ProcessId pid, const char* what) const {
+  const Topology& topo = rt_->topology();
+  if (pid < 0 || pid >= topo.numProcesses()) {
+    std::ostringstream os;
+    os << what << ": pid " << pid << " out of range [0, "
+       << topo.numProcesses() << ")";
+    throw std::invalid_argument(os.str());
+  }
+}
+
 void Experiment::crashAt(ProcessId pid, SimTime when) {
+  checkPid(pid, "crashAt");
   crashPlanned_.insert(pid);
   rt_->scheduleCrash(pid, when);
+}
+
+void Experiment::recoverAt(ProcessId pid, SimTime when) {
+  checkPid(pid, "recoverAt");
+  rt_->scheduleRecover(pid, when);
+}
+
+sim::Runtime::PartitionId Experiment::partitionAt(GroupSet side,
+                                                  SimTime from,
+                                                  SimTime until) {
+  return rt_->partition(side, from, until);
 }
 
 RunResult Experiment::run(SimTime until) {
@@ -251,8 +288,13 @@ RunResult Experiment::harvest() const {
                                             rt_->traffic(),
                                             rt_->lastAlgorithmicSend(),
                                             rt_->now());
+  // The recorder observes casts/deliveries/sends, not fault events; both
+  // constructions take the fault block straight from the trace.
+  r.metrics.faults = rt_->faultStats();
+  for (const auto& rec : rt_->trace().recoveries)
+    r.recovered.insert(rec.process);
   for (ProcessId p : rt_->topology().allProcesses()) {
-    if (!rt_->crashed(p)) r.correct.insert(p);
+    if (!rt_->everCrashed(p)) r.correct.insert(p);
     if (rt_->everSentAlgorithmic(p)) r.genuineness.sentAlgorithmic.insert(p);
     if (rt_->everReceivedAlgorithmic(p))
       r.genuineness.receivedAlgorithmic.insert(p);

@@ -26,7 +26,17 @@ struct StackConfig {
   fd::FdKind fdKind = fd::FdKind::kOracle;
   SimTime fdOracleDelay = 50 * kMs;
   fd::HeartbeatFd::Params fdHeartbeat{};
+  // Remote-group heartbeat lanes (stacks that widen the FD scope across
+  // groups, see FailureDetector::addRemoteGroup) tick/time out under
+  // WAN-sized parameters.
+  fd::HeartbeatFd::Params fdHeartbeatRemote = fd::HeartbeatFd::remoteDefaults();
   consensus::ConsensusKind consensusKind = consensus::ConsensusKind::kEarly;
+  // Per-round consensus progress timer (0 = off, the crash-stop default).
+  // REQUIRED for liveness in crash-RECOVERY runs: an amnesiac rejoin can
+  // be a round coordinator that is alive (never suspected) yet silent
+  // forever, and only a timeout moves the round on. ScenarioRunner arms
+  // this automatically for scenarios with a recovery schedule.
+  SimTime consensusRoundTimeout = 0;
   rmcast::RelayPolicy rmRelay = rmcast::RelayPolicy::kIntraOnly;
   rmcast::Uniformity rmUniformity = rmcast::Uniformity::kNonUniform;
 };
@@ -39,7 +49,8 @@ class StackNode : public sim::Node {
     // runs and the only place suspicion matters for the core algorithms.
     // (Stacks that run consensus across groups widen the scope themselves.)
     fd_ = fd::makeFd(cfg.fdKind, rt, pid, rt.topology().members(gid()),
-                     cfg.fdOracleDelay, cfg.fdHeartbeat);
+                     cfg.fdOracleDelay, cfg.fdHeartbeat,
+                     cfg.fdHeartbeatRemote);
     rm_ = std::make_unique<rmcast::ReliableMulticast>(
         rt, pid, cfg.rmRelay, cfg.rmUniformity);
   }
@@ -82,7 +93,8 @@ class StackNode : public sim::Node {
   consensus::ConsensusService& addConsensus(uint64_t scope,
                                             std::vector<ProcessId> members) {
     auto svc = consensus::makeConsensus(cfg_.consensusKind, runtime(), pid(),
-                                        std::move(members), fd_.get(), scope);
+                                        std::move(members), fd_.get(), scope,
+                                        cfg_.consensusRoundTimeout);
     auto* raw = svc.get();
     consensusByScope_[scope] = raw;
     ownedConsensus_.push_back(std::move(svc));

@@ -6,12 +6,14 @@ std::unique_ptr<FailureDetector> makeFd(FdKind kind, sim::Runtime& rt,
                                         ProcessId self,
                                         std::vector<ProcessId> scope,
                                         SimTime oracleDelay,
-                                        HeartbeatFd::Params hb) {
+                                        HeartbeatFd::Params hb,
+                                        HeartbeatFd::Params hbRemote) {
   switch (kind) {
     case FdKind::kOracle:
       return std::make_unique<OracleFd>(rt, self, oracleDelay);
     case FdKind::kHeartbeat:
-      return std::make_unique<HeartbeatFd>(rt, self, std::move(scope), hb);
+      return std::make_unique<HeartbeatFd>(rt, self, std::move(scope), hb,
+                                           hbRemote);
   }
   return nullptr;
 }

@@ -14,6 +14,19 @@
 //    Layer::kFailureDetector packets within its scope. With a timeout above
 //    the maximum link latency it behaves like <>P; transient timeouts only
 //    make it eventually strong, which the indulgent consensus tolerates.
+//
+// Scoping (fault plane v2): a detector monitors its own group by default —
+// where consensus runs. Stacks that run consensus ACROSS groups (the
+// Rodrigues baseline) widen the scope with addRemoteGroup(): the heartbeat
+// detector then maintains one heartbeat LANE per remote group, with its own
+// interval/timeout sized for inter-group latency, so cross-group consensus
+// participants get suspicion for remote crashes without the oracle. The
+// oracle is global already, so addRemoteGroup is a no-op there.
+//
+// Suspicion is RETRACTABLE: a suspected process that speaks again (false
+// timeout, healed partition) or recovers is rehabilitated, and
+// onRetraction callbacks fire. Protocol layers that cache quorum decisions
+// must re-read suspects() when it matters rather than latching suspicion.
 #pragma once
 
 #include <functional>
@@ -36,9 +49,23 @@ class FailureDetector {
 
   [[nodiscard]] virtual bool suspects(ProcessId p) const = 0;
 
-  // Fired when a process becomes suspected. (Un-suspicion is not signalled;
-  // the consensus layer re-reads suspects() when it matters.)
+  // Fired when a process becomes suspected.
   void onSuspicion(SuspicionCb cb) { callbacks_.push_back(std::move(cb)); }
+  // Fired when a suspicion is RETRACTED (the process recovered, a healed
+  // partition let its heartbeats through again, or a premature timeout was
+  // corrected). Layers that only ever read suspects() live need no hook.
+  void onRetraction(SuspicionCb cb) {
+    retractions_.push_back(std::move(cb));
+  }
+
+  // Widens the monitored scope to the members of remote group `g` (used by
+  // stacks that run consensus across groups). Default: no-op — the oracle
+  // is global by construction.
+  virtual void addRemoteGroup(GroupId g,
+                              const std::vector<ProcessId>& members) {
+    (void)g;
+    (void)members;
+  }
 
   virtual void start() {}
   virtual void onMessage(ProcessId /*from*/, const Payload& /*payload*/) {}
@@ -47,9 +74,13 @@ class FailureDetector {
   void notify(ProcessId p) {
     for (const auto& cb : callbacks_) cb(p);
   }
+  void notifyRetract(ProcessId p) {
+    for (const auto& cb : retractions_) cb(p);
+  }
 
  private:
   std::vector<SuspicionCb> callbacks_;
+  std::vector<SuspicionCb> retractions_;
 };
 
 // ---------------------------------------------------------------------------
@@ -62,18 +93,25 @@ class OracleFd final : public FailureDetector {
         self_(self),
         delay_(detectionDelay),
         suspected_(static_cast<size_t>(rt.topology().numProcesses()), 0) {
-    rt_.addCrashListener([this](ProcessId p) {
+    // Listeners are owned by this process's incarnation: when the process
+    // recovers, the runtime purges them, and the recovered node's fresh
+    // OracleFd registers its own.
+    rt_.addCrashListener(self_, [this](ProcessId p) {
       if (p == self_ || rt_.crashed(self_)) return;
-      if (delay_ == 0) {
-        suspected_[static_cast<size_t>(p)] = 1;
-        notify(p);
-      } else {
-        rt_.timer(self_, delay_, [this, p]() {
-          suspected_[static_cast<size_t>(p)] = 1;
-          notify(p);
-        });
+      suspectAfterDelay(p);
+    });
+    rt_.addRecoveryListener(self_, [this](ProcessId p) {
+      if (p == self_ || rt_.crashed(self_)) return;
+      if (suspected_[static_cast<size_t>(p)] != 0) {
+        suspected_[static_cast<size_t>(p)] = 0;
+        notifyRetract(p);
       }
     });
+    // A detector built mid-run (a recovered process's fresh stack) missed
+    // earlier crash notifications: seed it with the processes that are
+    // down right now, under the same detection delay.
+    for (ProcessId p = 0; p < rt_.topology().numProcesses(); ++p)
+      if (p != self_ && rt_.crashed(p)) suspectAfterDelay(p);
   }
 
   [[nodiscard]] bool suspects(ProcessId p) const override {
@@ -81,6 +119,22 @@ class OracleFd final : public FailureDetector {
   }
 
  private:
+  void suspectAfterDelay(ProcessId p) {
+    if (delay_ == 0) {
+      suspected_[static_cast<size_t>(p)] = 1;
+      notify(p);
+    } else {
+      rt_.timer(self_, delay_, [this, p]() {
+        // The crash may have been retracted (recovery) before the delay
+        // elapsed: the oracle never suspects an alive process.
+        if (rt_.crashed(p) && suspected_[static_cast<size_t>(p)] == 0) {
+          suspected_[static_cast<size_t>(p)] = 1;
+          notify(p);
+        }
+      });
+    }
+  }
+
   sim::Runtime& rt_;
   ProcessId self_;
   SimTime delay_;
@@ -90,7 +144,7 @@ class OracleFd final : public FailureDetector {
 // ---------------------------------------------------------------------------
 
 // Heartbeat packet. FD semantics depend only on layer() and the sender id,
-// so each HeartbeatFd reuses ONE pooled instance across ticks (mutating
+// so each heartbeat lane reuses ONE pooled instance across ticks (mutating
 // `seq` in place) instead of heap-allocating a payload per interval — the
 // `seq` a receiver observes is advisory, never protocol state.
 struct HeartbeatPayload final : Payload {
@@ -111,33 +165,46 @@ class HeartbeatFd final : public FailureDetector {
     SimTime timeout = 80 * kMs;  // must exceed interval + max link latency
   };
 
-  // `scope` is the set of processes this detector monitors (and heartbeats).
+  // Lane parameters for remote-group scopes: sized for WAN links (the
+  // presets top out at 110ms one-way), so a partitioned or crashed remote
+  // process is suspected within ~half a second and an alive one never is.
+  static constexpr Params remoteDefaults() {
+    return Params{60 * kMs, 400 * kMs};
+  }
+
+  // `scope` is the set of processes this detector monitors (and
+  // heartbeats) on its own-group lane; addRemoteGroup() adds one lane per
+  // remote group, parameterized by `remoteParams`.
   HeartbeatFd(sim::Runtime& rt, ProcessId self, std::vector<ProcessId> scope,
-              Params params)
+              Params params, Params remoteParams = remoteDefaults())
       : rt_(rt),
         self_(self),
-        scope_(std::move(scope)),
-        params_(params),
-        hb_(std::make_shared<HeartbeatPayload>(0)),
+        remoteParams_(remoteParams),
         lastHeard_(static_cast<size_t>(rt.topology().numProcesses()), 0),
         suspected_(static_cast<size_t>(rt.topology().numProcesses()), 0) {
-    // The per-tick destination vector is built once, not per interval.
-    for (ProcessId p : scope_)
-      if (p != self_) others_.push_back(p);
+    addLane(kNoGroup, std::move(scope), params);
+  }
+
+  void addRemoteGroup(GroupId g,
+                      const std::vector<ProcessId>& members) override {
+    addLane(g, members, remoteParams_);
   }
 
   void start() override {
-    // Start-of-run grace: everyone counts as heard at t=0.
-    for (ProcessId p : scope_) lastHeard_[static_cast<size_t>(p)] = rt_.now();
-    tick();
+    started_ = true;
+    // Start-of-run grace: every monitored peer counts as heard at start.
+    for (size_t li = 0; li < lanes_.size(); ++li) startLane(li);
   }
 
   void onMessage(ProcessId from, const Payload& payload) override {
     if (payload.layer() != Layer::kFailureDetector) return;
     lastHeard_[static_cast<size_t>(from)] = rt_.now();
     if (suspected_[static_cast<size_t>(from)] != 0) {
-      // eventual accuracy: a prematurely suspected process is rehabilitated
+      // Eventual accuracy: a prematurely suspected process (false timeout,
+      // healed partition, recovery) is rehabilitated — and the retraction
+      // is signalled, unlike the pre-v2 detector.
       suspected_[static_cast<size_t>(from)] = 0;
+      notifyRetract(from);
     }
   }
 
@@ -146,39 +213,66 @@ class HeartbeatFd final : public FailureDetector {
   }
 
  private:
-  void tick() {
-    hb_->seq = seq_++;  // pooled payload, see HeartbeatPayload
-    rt_.multicast(self_, others_, hb_);
+  // One heartbeat lane: a peer set heartbeated and monitored under its own
+  // interval/timeout. The per-tick destination vector and the pooled
+  // payload are built once per lane, not per interval.
+  struct Lane {
+    GroupId gid = kNoGroup;  // kNoGroup: the own-scope lane
+    Params params;
+    std::vector<ProcessId> peers;  // monitored + heartbeated, excl. self
+    std::shared_ptr<HeartbeatPayload> hb;
+    uint64_t seq = 0;
+  };
+
+  void addLane(GroupId g, std::vector<ProcessId> scope, Params params) {
+    Lane lane;
+    lane.gid = g;
+    lane.params = params;
+    for (ProcessId p : scope)
+      if (p != self_) lane.peers.push_back(p);
+    lane.hb = std::make_shared<HeartbeatPayload>(0);
+    lanes_.push_back(std::move(lane));
+    if (started_) startLane(lanes_.size() - 1);
+  }
+
+  void startLane(size_t li) {
+    for (ProcessId p : lanes_[li].peers)
+      lastHeard_[static_cast<size_t>(p)] = rt_.now();
+    tick(li);
+  }
+
+  void tick(size_t li) {
+    Lane& lane = lanes_[li];
+    lane.hb->seq = lane.seq++;  // pooled payload, see HeartbeatPayload
+    rt_.multicast(self_, lane.peers, lane.hb);
     const SimTime now = rt_.now();
-    for (ProcessId p : scope_) {
+    for (ProcessId p : lane.peers) {
       const auto i = static_cast<size_t>(p);
-      if (p == self_ || suspected_[i] != 0) continue;
-      if (now - lastHeard_[i] > params_.timeout) {
+      if (suspected_[i] != 0) continue;
+      if (now - lastHeard_[i] > lane.params.timeout) {
         suspected_[i] = 1;
         notify(p);
       }
     }
-    rt_.timer(self_, params_.interval, [this]() { tick(); });
+    rt_.timer(self_, lane.params.interval, [this, li]() { tick(li); });
   }
 
   sim::Runtime& rt_;
   ProcessId self_;
-  std::vector<ProcessId> scope_;
-  Params params_;
-  uint64_t seq_ = 0;
-  std::shared_ptr<HeartbeatPayload> hb_;  // reused across ticks
-  std::vector<ProcessId> others_;         // scope_ minus self, cached
-  std::vector<SimTime> lastHeard_;        // dense, indexed by pid
-  std::vector<uint8_t> suspected_;        // dense, indexed by pid
+  Params remoteParams_;
+  bool started_ = false;
+  std::vector<Lane> lanes_;
+  std::vector<SimTime> lastHeard_;  // dense, indexed by pid
+  std::vector<uint8_t> suspected_;  // dense, indexed by pid
 };
 
 // Which detector a protocol stack should instantiate.
 enum class FdKind { kOracle, kHeartbeat };
 
-std::unique_ptr<FailureDetector> makeFd(FdKind kind, sim::Runtime& rt,
-                                        ProcessId self,
-                                        std::vector<ProcessId> scope,
-                                        SimTime oracleDelay = 0,
-                                        HeartbeatFd::Params hb = {});
+std::unique_ptr<FailureDetector> makeFd(
+    FdKind kind, sim::Runtime& rt, ProcessId self,
+    std::vector<ProcessId> scope, SimTime oracleDelay = 0,
+    HeartbeatFd::Params hb = {},
+    HeartbeatFd::Params hbRemote = HeartbeatFd::remoteDefaults());
 
 }  // namespace wanmc::fd

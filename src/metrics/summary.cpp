@@ -59,6 +59,11 @@ void Summary::merge(const Summary& other) {
     traffic.perLayer[l].intra += other.traffic.perLayer[l].intra;
     traffic.perLayer[l].inter += other.traffic.perLayer[l].inter;
   }
+  faults.crashes += other.faults.crashes;
+  faults.recoveries += other.faults.recoveries;
+  faults.partitionsCut += other.faults.partitionsCut;
+  faults.partitionsHealed += other.faults.partitionsHealed;
+  faults.linkDrops += other.faults.linkDrops;
 }
 
 Summary summarizeTrace(const RunTrace& trace, const Topology& topo,
@@ -68,6 +73,7 @@ Summary summarizeTrace(const RunTrace& trace, const Topology& topo,
   out.processes = topo.numProcesses();
   out.groups = topo.numGroups();
   out.traffic = traffic;
+  out.faults = faultStatsOf(trace);
   out.lastAlgoSendAt = lastAlgoSend;
   out.endTime = endTime;
   out.perGroup.resize(static_cast<size_t>(topo.numGroups()));
@@ -189,6 +195,11 @@ void writeJson(const Summary& s, std::ostream& os, const std::string& indent) {
     first = false;
   }
   os << "},\n";
+  os << in2 << "\"faults\": {\"crashes\": " << s.faults.crashes
+     << ", \"recoveries\": " << s.faults.recoveries
+     << ", \"partitionsCut\": " << s.faults.partitionsCut
+     << ", \"partitionsHealed\": " << s.faults.partitionsHealed
+     << ", \"linkDrops\": " << s.faults.linkDrops << "},\n";
   os << in2 << "\"quiescence\": {\"lastCastUs\": " << s.lastCastAt
      << ", \"lastAlgoSendUs\": " << s.lastAlgoSendAt << ", \"settleUs\": "
      << (s.lastAlgoSendAt >= 0 && s.lastCastAt >= 0

@@ -80,6 +80,12 @@ struct Summary {
   // TrafficStats — maintained from the observer plane, no recordWire).
   TrafficStats traffic;
 
+  // Fault-plane counters (fault plane v2): crashes, recoveries, partition
+  // cut/heal transitions, and wire copies dropped on cut links. Derived
+  // from the trace's fault events in BOTH constructions (faultStatsOf), so
+  // the streaming/offline equivalence holds field-for-field.
+  FaultStats faults;
+
   // ---- derived rates ------------------------------------------------------
   // Offered load: casts per simulated second over the casting window.
   [[nodiscard]] double offeredPerSec() const;

@@ -44,8 +44,11 @@ void Runtime::addDeliveryObserver(DeliveryObserver f) {
 
 void Runtime::attach(ProcessId pid, std::unique_ptr<Node> node) {
   assert(pid >= 0 && pid < topo_.numProcesses());
+  // Indexed by pid (not append order) so recovery can swap one slot.
+  if (owned_.size() < static_cast<size_t>(topo_.numProcesses()))
+    owned_.resize(static_cast<size_t>(topo_.numProcesses()));
   nodes_[static_cast<size_t>(pid)] = node.get();
-  owned_.push_back(std::move(node));
+  owned_[static_cast<size_t>(pid)] = std::move(node);
 }
 
 void Runtime::start() {
@@ -115,6 +118,13 @@ void Runtime::multicast(ProcessId from, const std::vector<ProcessId>& tos,
       for (RunObserver* o : sendObservers_) o->onSend(ev);
     }
 
+    // Cut links drop the copy before the latency draw, exactly like the
+    // drop filter: link state never perturbs the RNG stream of the copies
+    // that do go out.
+    if (anyLinkState_ && !linkUp(from, to)) {
+      ++trace_.linkDrops;
+      continue;
+    }
     if (drop_ && drop_(from, to, *f->payload)) continue;
 
     const SimTime delay = drawLatency(inter);
@@ -140,14 +150,145 @@ void Runtime::deliverCopy(Fanout& f, ProcessId to) {
 void Runtime::crash(ProcessId pid) {
   if (crashed(pid)) return;
   crashed_[static_cast<size_t>(pid)] = 1;
+  everCrashed_[static_cast<size_t>(pid)] = 1;
+  trace_.crashes.push_back(CrashEvent{pid, sched_.now()});
   if (nodes_[static_cast<size_t>(pid)] != nullptr)
     nodes_[static_cast<size_t>(pid)]->onCrash();
-  for (const auto& fn : crashListeners_) fn(pid);
+  dispatchListeners(crashListeners_, pid);
 }
 
 void Runtime::scheduleCrash(ProcessId pid, SimTime when) {
   assert(when >= sched_.now());
   sched_.at(when, [this, pid]() { crash(pid); });
+}
+
+void Runtime::recover(ProcessId pid) {
+  assert(pid >= 0 && pid < topo_.numProcesses());
+  if (!crashed(pid)) return;  // scheduled recovery of an alive process
+  if (!nodeFactory_)
+    throw std::logic_error(
+        "Runtime::recover: no node factory installed (setNodeFactory)");
+  const size_t i = static_cast<size_t>(pid);
+  // The flags flip FIRST: the fresh node's constructor and onStart may
+  // register timers and listeners, and those must carry the NEW
+  // incarnation (old-incarnation timers are suppressed by TimerGuard).
+  ++incarnation_[i];
+  crashed_[i] = 0;
+  purgeListeners(crashListeners_, pid, incarnation_[i]);
+  purgeListeners(recoveryListeners_, pid, incarnation_[i]);
+  std::unique_ptr<Node> fresh = nodeFactory_(pid);
+  assert(fresh != nullptr);
+  nodes_[i] = fresh.get();
+  owned_[i] = std::move(fresh);  // destroys the dead incarnation's node
+  trace_.recoveries.push_back(RecoveryEvent{pid, sched_.now()});
+  dispatchListeners(recoveryListeners_, pid);
+  nodes_[i]->onStart();
+}
+
+void Runtime::scheduleRecover(ProcessId pid, SimTime when) {
+  assert(when >= sched_.now());
+  sched_.at(when, [this, pid]() { recover(pid); });
+}
+
+// ---- dynamic link state ----------------------------------------------------
+
+Runtime::PartitionId Runtime::partition(GroupSet side, SimTime from,
+                                        SimTime until) {
+  const int m = topo_.numGroups();
+  auto bad = [](const auto&... parts) {
+    std::ostringstream os;
+    os << "Runtime::partition: ";
+    (os << ... << parts);
+    throw std::invalid_argument(os.str());
+  };
+  if (side.empty()) bad("empty partition side");
+  if (m < 64 && (side.bits() >> m) != 0)
+    bad("side ", side.str(), " addresses groups beyond the topology's ", m);
+  if (side == topo_.allGroups())
+    bad("side ", side.str(),
+        " is the whole topology - a partition needs a non-empty far side");
+  if (from < sched_.now()) bad("window starts in the past");
+  if (until != kTimeNever && until <= from)
+    bad("window [", from, ", ", until, ")us is empty");
+
+  const auto id = static_cast<PartitionId>(partitions_.size());
+  partitions_.push_back(Partition{side, false, false});
+  anyLinkState_ = true;
+  if (groupCut_.empty())
+    groupCut_.assign(static_cast<size_t>(m) * static_cast<size_t>(m), 0);
+  if (from <= sched_.now()) {
+    activatePartition(id);
+  } else {
+    sched_.at(from, [this, id]() { activatePartition(id); });
+  }
+  if (until != kTimeNever) sched_.at(until, [this, id]() { heal(id); });
+  return id;
+}
+
+void Runtime::activatePartition(PartitionId id) {
+  Partition& p = partitions_[id];
+  if (p.healed || p.active) return;  // healed before the cut fired
+  p.active = true;
+  adjustGroupCuts(p.side, +1);
+  trace_.partitions.push_back(
+      PartitionEvent{true, p.side.bits(), sched_.now()});
+}
+
+void Runtime::heal(PartitionId id) {
+  assert(id < partitions_.size());
+  Partition& p = partitions_[id];
+  if (p.healed) return;
+  p.healed = true;
+  if (!p.active) return;  // cut never activated: nothing to undo
+  p.active = false;
+  adjustGroupCuts(p.side, -1);
+  trace_.partitions.push_back(
+      PartitionEvent{false, p.side.bits(), sched_.now()});
+}
+
+void Runtime::healAll() {
+  for (PartitionId id = 0; id < partitions_.size(); ++id) heal(id);
+}
+
+void Runtime::adjustGroupCuts(const GroupSet& side, int delta) {
+  const int m = topo_.numGroups();
+  for (GroupId a = 0; a < m; ++a) {
+    const bool inSide = side.contains(a);
+    for (GroupId b = 0; b < m; ++b) {
+      if (a == b || side.contains(b) == inSide) continue;
+      auto& c = groupCut_[static_cast<size_t>(a) * static_cast<size_t>(m) +
+                          static_cast<size_t>(b)];
+      c = static_cast<uint16_t>(static_cast<int>(c) + delta);
+    }
+  }
+}
+
+void Runtime::cutLink(ProcessId a, ProcessId b, SimTime from, SimTime until) {
+  auto bad = [](const char* what) {
+    std::ostringstream os;
+    os << "Runtime::cutLink: " << what;
+    throw std::invalid_argument(os.str());
+  };
+  if (a < 0 || a >= topo_.numProcesses() || b < 0 ||
+      b >= topo_.numProcesses())
+    bad("pid out of range");
+  if (a == b) bad("a process has no link to itself");
+  if (until <= from) bad("empty window");
+  linkWindows_.push_back(LinkWindow{a, b, from, until});
+  anyLinkState_ = true;
+}
+
+bool Runtime::linkUp(ProcessId from, ProcessId to) const {
+  if (!anyLinkState_) return true;
+  if (!groupCut_.empty() && groupLinkCut(topo_.group(from), topo_.group(to)))
+    return false;
+  const SimTime now = sched_.now();
+  for (const LinkWindow& w : linkWindows_) {
+    if (((w.a == from && w.b == to) || (w.a == to && w.b == from)) &&
+        now >= w.from && now < w.until)
+      return false;
+  }
+  return true;
 }
 
 int Runtime::aliveInGroup(GroupId g) const {

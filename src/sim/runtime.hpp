@@ -64,6 +64,8 @@ class Runtime {
         rng_(SplitMix64(seed).fork(0xa11ce)),
         lamport_(static_cast<size_t>(topo_.numProcesses()), 0),
         crashed_(static_cast<size_t>(topo_.numProcesses()), 0),
+        everCrashed_(static_cast<size_t>(topo_.numProcesses()), 0),
+        incarnation_(static_cast<size_t>(topo_.numProcesses()), 0),
         nodes_(static_cast<size_t>(topo_.numProcesses()), nullptr),
         sentAlgo_(static_cast<size_t>(topo_.numProcesses()), 0),
         recvAlgo_(static_cast<size_t>(topo_.numProcesses()), 0),
@@ -137,7 +139,8 @@ class Runtime {
   EventId timer(ProcessId pid, SimTime delay, F&& fn) {
     using D = std::decay_t<F>;
     return sched_.at(sched_.now() + delay,
-                     TimerGuard<D>{this, pid, std::forward<F>(fn)});
+                     TimerGuard<D>{this, pid, incarnation(pid),
+                                   std::forward<F>(fn)});
   }
   void cancelTimer(EventId id) { sched_.cancel(id); }
 
@@ -145,15 +148,90 @@ class Runtime {
 
   void crash(ProcessId pid);
   void scheduleCrash(ProcessId pid, SimTime when);
-  // Registers a callback fired (as a local event) whenever a process
-  // crashes. Used by the oracle failure detector.
-  void addCrashListener(std::function<void(ProcessId)> fn) {
-    crashListeners_.push_back(std::move(fn));
+  // Registers a callback fired whenever a process crashes. `owner` is the
+  // process hosting the listener (the oracle failure detector registers
+  // one per process): listeners die with their owner's incarnation, so a
+  // recovered process's FRESH detector is the only one still listening —
+  // the crashed incarnation's callbacks can never fire into a destroyed
+  // node.
+  void addCrashListener(ProcessId owner, std::function<void(ProcessId)> fn) {
+    crashListeners_.push_back(
+        {owner, incarnation(owner), std::move(fn)});
+  }
+  // Same contract, fired whenever a process RECOVERS (after the fresh node
+  // is attached and before its onStart). Used for suspicion retraction.
+  void addRecoveryListener(ProcessId owner,
+                           std::function<void(ProcessId)> fn) {
+    recoveryListeners_.push_back(
+        {owner, incarnation(owner), std::move(fn)});
   }
   [[nodiscard]] bool crashed(ProcessId pid) const {
     return crashed_[static_cast<size_t>(pid)] != 0;
   }
+  // True if the process crashed at least once, even if it has recovered
+  // since: the paper's "correct process" means NEVER crashed.
+  [[nodiscard]] bool everCrashed(ProcessId pid) const {
+    return everCrashed_[static_cast<size_t>(pid)] != 0;
+  }
   [[nodiscard]] int aliveInGroup(GroupId g) const;
+
+  // ---- recovery ------------------------------------------------------------
+  //
+  // recover(pid) reinstates a crashed process as a FRESH incarnation: the
+  // old node object is destroyed, a new one is built by the node factory,
+  // attached, and started (so its protocol timers re-register through the
+  // scheduler). Protocol state is reset — this is the crash-recovery model
+  // without stable storage. Timers and listeners of the dead incarnation
+  // are incarnation-guarded and can never fire into the new node; wire
+  // copies already in flight TO the process are delivered if it is alive
+  // when they arrive (quasi-reliable, non-FIFO channels).
+
+  using NodeFactory = std::function<std::unique_ptr<Node>(ProcessId)>;
+  void setNodeFactory(NodeFactory f) { nodeFactory_ = std::move(f); }
+
+  // Immediate recovery; requires a node factory and crashed(pid).
+  void recover(ProcessId pid);
+  // Scheduled recovery at `when` (>= now). Recovering a process that is
+  // not crashed at fire time is a no-op.
+  void scheduleRecover(ProcessId pid, SimTime when);
+
+  [[nodiscard]] uint32_t incarnation(ProcessId pid) const {
+    return incarnation_[static_cast<size_t>(pid)];
+  }
+
+  // ---- dynamic link state --------------------------------------------------
+  //
+  // A partition cuts every link between a group in `side` and a group
+  // outside it during [from, until): copies SENT while a link is down are
+  // dropped deterministically (and counted in trace().linkDrops); copies
+  // already in flight when the cut activates still arrive — the partition
+  // is a property of the network, not of queued events, so pending timers
+  // and deliveries survive. Cut/heal transitions are scheduler events:
+  // their order against same-instant sends is the deterministic
+  // (time, insertion-sequence) order every other event obeys.
+
+  using PartitionId = uint32_t;
+  static constexpr PartitionId kNoPartition = UINT32_MAX;
+
+  // Cut `side` from the rest of the topology during [from, until).
+  // `until` = kTimeNever keeps the partition until heal()/healAll().
+  // Throws std::invalid_argument on an empty/out-of-range side or an
+  // inverted window.
+  PartitionId partition(GroupSet side, SimTime from,
+                        SimTime until = kTimeNever);
+  // Heals partition `id` now (idempotent; before its cut activates, the
+  // cut is cancelled).
+  void heal(PartitionId id);
+  // Heals every active or scheduled partition now.
+  void healAll();
+  // One symmetric process-pair link down during [from, until).
+  void cutLink(ProcessId a, ProcessId b, SimTime from, SimTime until);
+  // Is the (directed) link from->to up right now?
+  [[nodiscard]] bool linkUp(ProcessId from, ProcessId to) const;
+
+  [[nodiscard]] FaultStats faultStats() const {
+    return faultStatsOf(trace_);
+  }
 
   // ---- instrumentation -----------------------------------------------------
 
@@ -210,16 +288,19 @@ class Runtime {
   }
 
  private:
-  // Suppresses a timer whose process crashed before it fired. A plain
-  // struct (not a lambda) so its size is known and it stays inline in the
-  // scheduler's event pool.
+  // Suppresses a timer whose process crashed — or crashed AND recovered —
+  // before it fired: a recovered process is a new incarnation, and the old
+  // incarnation's timers must not fire into the fresh node (their captures
+  // point into the destroyed one). A plain struct (not a lambda) so its
+  // size is known and it stays inline in the scheduler's event pool.
   template <class F>
   struct TimerGuard {
     Runtime* rt;
     ProcessId pid;
+    uint32_t inc;
     F fn;
     void operator()() {
-      if (!rt->crashed(pid)) fn();
+      if (!rt->crashed(pid) && rt->incarnation(pid) == inc) fn();
     }
   };
 
@@ -264,13 +345,71 @@ class Runtime {
   SplitMix64 rng_;
   Scheduler sched_;
 
+  // One crash/recovery listener, owned by a process incarnation: dispatch
+  // skips (and purge removes) entries whose owner has moved on.
+  struct OwnedListener {
+    ProcessId owner;
+    uint32_t inc;
+    std::function<void(ProcessId)> fn;
+  };
+  void dispatchListeners(const std::vector<OwnedListener>& listeners,
+                         ProcessId subject) {
+    // Indexed loop + per-entry copy: a callback may register further
+    // listeners while we iterate, reallocating the vector under us.
+    for (size_t i = 0; i < listeners.size(); ++i) {
+      OwnedListener l = listeners[i];
+      if (incarnation(l.owner) == l.inc) l.fn(subject);
+    }
+  }
+  static void purgeListeners(std::vector<OwnedListener>& listeners,
+                             ProcessId owner, uint32_t liveInc) {
+    std::erase_if(listeners, [owner, liveInc](const OwnedListener& l) {
+      return l.owner == owner && l.inc != liveInc;
+    });
+  }
+
+  // One scheduled partition. `side` stays fixed; the partition moves
+  // through scheduled -> active -> healed (heal() can also cancel a
+  // not-yet-active cut).
+  struct Partition {
+    GroupSet side;
+    bool active = false;
+    bool healed = false;
+  };
+  void activatePartition(PartitionId id);
+  void adjustGroupCuts(const GroupSet& side, int delta);
+  [[nodiscard]] bool groupLinkCut(GroupId a, GroupId b) const {
+    return groupCut_[static_cast<size_t>(a) *
+                         static_cast<size_t>(topo_.numGroups()) +
+                     static_cast<size_t>(b)] != 0;
+  }
+
+  // One per-link down window (symmetric), evaluated by time.
+  struct LinkWindow {
+    ProcessId a = kNoProcess;
+    ProcessId b = kNoProcess;
+    SimTime from = 0;
+    SimTime until = kTimeNever;
+  };
+
   std::vector<uint64_t> lamport_;
   std::vector<uint8_t> crashed_;
+  std::vector<uint8_t> everCrashed_;
+  std::vector<uint32_t> incarnation_;
   std::vector<Node*> nodes_;
   std::vector<std::unique_ptr<Node>> owned_;
+  NodeFactory nodeFactory_;
+
+  // Dynamic link state. `anyLinkState_` gates the per-copy check so runs
+  // without partitions/cut links pay nothing on the send hot path.
+  bool anyLinkState_ = false;
+  std::vector<Partition> partitions_;
+  std::vector<uint16_t> groupCut_;  // numGroups^2 cut counts
+  std::vector<LinkWindow> linkWindows_;
 
   DropFilter drop_;
-  std::vector<std::function<void(ProcessId)>> crashListeners_;
+  std::vector<OwnedListener> crashListeners_;
+  std::vector<OwnedListener> recoveryListeners_;
   std::vector<RunObserver*> castObservers_;
   std::vector<RunObserver*> deliveryObservers_;
   std::vector<RunObserver*> sendObservers_;

@@ -65,6 +65,37 @@ std::vector<CrashSpec> materializeCrashes(const Topology& topo,
   return out;
 }
 
+std::vector<RecoverSpec> materializeRecoveries(
+    const std::vector<CrashSpec>& crashes, const RandomRecoveries& plan,
+    uint64_t seed) {
+  std::vector<RecoverSpec> out;
+  SplitMix64 rng(SplitMix64(seed).fork(plan.salt).next());
+  for (const CrashSpec& c : crashes) {
+    const SimTime delay =
+        rng.uniform(plan.delayMin, std::max(plan.delayMin, plan.delayMax));
+    out.push_back(RecoverSpec{c.pid, c.when + delay});
+  }
+  return out;
+}
+
+std::vector<PartitionSpec> materializePartitions(const Topology& topo,
+                                                 const RandomPartitions& plan,
+                                                 uint64_t seed) {
+  std::vector<PartitionSpec> out;
+  if (topo.numGroups() < 2) return out;  // a lone group has no far side
+  SplitMix64 rng(SplitMix64(seed).fork(plan.salt).next());
+  for (int i = 0; i < plan.count; ++i) {
+    const auto g = static_cast<GroupId>(
+        rng.next() % static_cast<uint64_t>(topo.numGroups()));
+    const SimTime from =
+        rng.uniform(plan.earliest, std::max(plan.earliest, plan.latest));
+    const SimTime dur =
+        rng.uniform(plan.durMin, std::max(plan.durMin, plan.durMax));
+    out.push_back(PartitionSpec{GroupSet::single(g), from, from + dur});
+  }
+  return out;
+}
+
 namespace {
 
 // A deterministic per-rule coin: the k-th matching packet of a rule is
@@ -117,22 +148,45 @@ ProtocolTraits traitsOf(core::ProtocolKind kind) {
   ProtocolTraits t;
   switch (kind) {
     case ProtocolKind::kA1:
+      // A1's stage-skip optimization is what blocks amnesiac rejoins: a
+      // message whose own group proposed the max timestamp goes s1 -> s3
+      // WITHOUT a second consensus, so its final order exists only in
+      // the TS exchange the recovered process missed — it sticks at s1
+      // and blocks the delivery test behind it. Full re-integration
+      // needs TS-state transfer (ROADMAP).
+      break;
     case ProtocolKind::kFritzke98:
-    case ProtocolKind::kDelporte00:
     case ProtocolKind::kRodrigues98:
-      break;  // crash-tolerant, uniform, genuine
+      // Crash-tolerant, uniform, genuine — and amnesia-recoverable:
+      // Fritzke98 never skips stages, so the whole ordering history is
+      // in the consensus-instance stream a rejoin replays (decision
+      // retransmission + round timeouts); Rodrigues re-collects votes
+      // after the retraction re-introduces pending messages. Verified by
+      // the crash-recover matrix cells, which cast past the recovery.
+      t.recoveredRejoins = true;
+      break;
+    case ProtocolKind::kDelporte00:
+      break;  // ring-token state is lost with the incarnation
     case ProtocolKind::kSkeen87:
       t.toleratesCrashes = false;  // [2] assumes a failure-free system
       break;
     case ProtocolKind::kViaBcast:
     case ProtocolKind::kA2:
+      // Broadcast-based: every process participates. Same replay gap as
+      // A1 for the rejoin (observed in the crash-recover cells).
+      t.genuine = false;
+      break;
     case ProtocolKind::kVicente02:
-      t.genuine = false;  // broadcast-based: every process participates
+      t.genuine = false;
+      // Sequencer-based: a recovered process misses the sequence numbers
+      // its dead incarnation consumed and can hold back later slots, so
+      // post-recovery delivery is not guaranteed (observed in the
+      // crash-recover-sweep cells).
       break;
     case ProtocolKind::kSousa02:
       t.genuine = false;
       t.uniform = false;  // optimistic, non-uniform by design [12]
-      break;
+      break;  // sequencer-based: same recovery gap as Vicente02
     case ProtocolKind::kDetMerge00:
       // [1]'s merge needs every publisher's frontier to advance: a crashed
       // publisher stalls delivery, so crash scenarios are out of scope.
@@ -179,7 +233,19 @@ Scenario& Scenario::withDefaultExpectations() {
   const bool anyCrashes =
       !crashes.empty() ||
       (randomCrashes.has_value() && randomCrashes->perGroup > 0);
-  expect = defaultExpectations(config.protocol, anyCrashes, !drops.empty());
+  // A partition voids the quasi-reliable-channel assumption exactly like
+  // an omission fault: copies sent across the cut are lost for good, so
+  // delivery obligations no longer bind (safety still must).
+  const bool anyDrops = !drops.empty() || !partitions.empty() ||
+                        randomPartitions.has_value();
+  expect = defaultExpectations(config.protocol, anyCrashes, anyDrops);
+  // Recovered-delivery is a LIVENESS obligation: it only binds where the
+  // other delivery obligations do (drops/partitions void it too — a lost
+  // copy can be exactly the one addressed to the recovered process).
+  if (expect.checkLiveness &&
+      (!recoveries.empty() || randomRecoveries.has_value()))
+    expect.checkRecoveredDelivery =
+        traitsOf(config.protocol).recoveredRejoins;
   return *this;
 }
 
@@ -209,6 +275,8 @@ verify::Violations checkExpectations(const core::RunResult& r,
     append(exp.uniform ? verify::checkUniformAgreement(ctx)
                        : verify::checkAgreementCorrectOnly(ctx));
   }
+  if (exp.checkRecoveredDelivery)
+    append(verify::checkRecoveredDelivery(ctx));
   if (exp.checkGenuineness)
     append(verify::checkGenuineness(ctx, r.genuineness));
   if (exp.quiescenceBudget)
@@ -237,6 +305,14 @@ std::string traceFingerprint(const core::RunResult& r) {
   for (const auto& d : r.trace.deliveries)
     os << "D p" << d.process << " m" << d.msg << " lc" << d.lamport << " t"
        << d.when << " o" << d.order << "\n";
+  // Fault-plane v2 lines are emitted ONLY when the corresponding events
+  // exist: every pre-v2 run fingerprint stays byte-identical.
+  for (const auto& rec : r.trace.recoveries)
+    os << "R p" << rec.process << " t" << rec.when << "\n";
+  for (const auto& p : r.trace.partitions)
+    os << "P " << (p.cut ? "cut" : "heal") << " s" << p.side << " t"
+       << p.when << "\n";
+  if (r.trace.linkDrops != 0) os << "LD " << r.trace.linkDrops << "\n";
   for (int l = 0; l < 5; ++l) {
     const auto& c = r.traffic.at(static_cast<Layer>(l));
     os << "T " << layerName(static_cast<Layer>(l)) << " intra=" << c.intra
@@ -262,6 +338,15 @@ ScenarioResult ScenarioRunner::run() const {
   const Scenario& s = scenario_;
   core::RunConfig cfg = s.config;
   if (s.latency) cfg.latency = latencyModelFor(*s.latency);
+  // Recovery runs need the consensus round timeout armed (an amnesiac
+  // rejoin can be an alive-but-silent round coordinator; see StackConfig).
+  // 500ms is ~2 worst-case preset round trips — long enough that only a
+  // real stall fires it, short enough that an amnesiac catching up on a
+  // backlog of decided instances (one timeout per instance) finishes
+  // well inside the cell horizon.
+  if ((!s.recoveries.empty() || s.randomRecoveries.has_value()) &&
+      cfg.stack.consensusRoundTimeout == 0)
+    cfg.stack.consensusRoundTimeout = 500 * kMs;
 
   core::Experiment ex(cfg);
   const Topology& topo = ex.runtime().topology();
@@ -286,6 +371,33 @@ ScenarioResult ScenarioRunner::run() const {
                                    extra.begin(), extra.end());
   }
   for (const auto& c : result.effectiveCrashes) ex.crashAt(c.pid, c.when);
+
+  // Recovery schedule: scripted verbatim, plus one seed-derived recovery
+  // per effective crash. Recovered processes are excluded from the
+  // streaming prefix-order pairs up front (their sequences restart
+  // mid-run; the trace-based checkers skip them the same way).
+  result.effectiveRecoveries = s.recoveries;
+  if (s.randomRecoveries) {
+    auto extra = materializeRecoveries(result.effectiveCrashes,
+                                       *s.randomRecoveries, cfg.seed);
+    result.effectiveRecoveries.insert(result.effectiveRecoveries.end(),
+                                      extra.begin(), extra.end());
+  }
+  for (const auto& rec : result.effectiveRecoveries) {
+    ex.recoverAt(rec.pid, rec.when);
+    orderChecker.excludeProcess(rec.pid);
+  }
+
+  // Partition windows: scripted verbatim + seed-derived healing cuts.
+  result.effectivePartitions = s.partitions;
+  if (s.randomPartitions) {
+    auto extra =
+        materializePartitions(topo, *s.randomPartitions, cfg.seed);
+    result.effectivePartitions.insert(result.effectivePartitions.end(),
+                                      extra.begin(), extra.end());
+  }
+  for (const auto& p : result.effectivePartitions)
+    ex.partitionAt(p.side, p.from, p.until);
 
   if (!s.drops.empty()) {
     // The engine lives in the filter closure; per-rule coin streams are
@@ -375,7 +487,11 @@ std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
 
   auto makeBase = [&](const char* tag, LatencyPreset latency) {
     Scenario s;
-    s.name = base + "/" + tag + "/" + latencyPresetName(latency);
+    s.name = base;  // built by append: avoids the GCC 12 -Wrestrict
+    s.name += "/";  // false positive on chained operator+
+    s.name += tag;
+    s.name += "/";
+    s.name += latencyPresetName(latency);
     s.config.groups = opt.groups;
     s.config.procsPerGroup = opt.procsPerGroup;
     s.config.protocol = kind;
@@ -415,9 +531,12 @@ std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
                                 ? GroupSet{}
                                 : GroupSet::of({0, 1});
       s.casts.push_back(ScheduledCast{kMs, 0, dest, "x"});
-      for (int i = 1; i < opt.casts; ++i)
-        s.casts.push_back(ScheduledCast{
-            kMs + i * opt.castInterval, 1, dest, "w" + std::to_string(i)});
+      for (int i = 1; i < opt.casts; ++i) {
+        std::string body = "w";  // append: GCC 12 -Wrestrict, see makeBase
+        body += std::to_string(i);
+        s.casts.push_back(ScheduledCast{kMs + i * opt.castInterval, 1, dest,
+                                        std::move(body)});
+      }
       s.crashes.push_back(CrashSpec{0, kMs + 1});
       s.withDefaultExpectations();
       out.push_back(std::move(s));
@@ -501,6 +620,98 @@ std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
     s.randomCrashes = RandomCrashes{1, 50 * kMs, kSec, 0xc4a5};
     s.withDefaultExpectations();
     out.push_back(std::move(s));
+  }
+
+  // Fault-plane v2 cells (appended so every pre-v2 cell keeps its name and
+  // fingerprint). Heartbeat-FD runs never quiesce — the detector ticks
+  // forever — so these cells bound the horizon explicitly: 30 simulated
+  // seconds is ~50 WAN round trips past the last arrival.
+  const SimTime v2Horizon = 30 * kSec;
+
+  {
+    // The real detector instead of the oracle, failure-free: exercises
+    // heartbeat traffic (and, for cross-group stacks, the remote lanes)
+    // under WAN jitter with no suspicion ever justified.
+    Scenario s = makeBase("hb-ok", LatencyPreset::kWan);
+    s.config.stack.fdKind = fd::FdKind::kHeartbeat;
+    s.runUntil = v2Horizon;
+    s.withDefaultExpectations();
+    s.expect.minDeliveries = 1;
+    out.push_back(std::move(s));
+  }
+  if (traits.toleratesCrashes) {
+    // Minority crashes under the heartbeat detector: suspicion now comes
+    // from timeouts, not the oracle — for Rodrigues-style cross-group
+    // consensus this is the remote-lane path (a remote crash must be
+    // suspected or the vote quorum hangs).
+    Scenario s = makeBase("hb-crash-minority", LatencyPreset::kWan);
+    s.config.stack.fdKind = fd::FdKind::kHeartbeat;
+    s.randomCrashes = RandomCrashes{1, 50 * kMs, kSec, 0xc4a5};
+    s.runUntil = v2Horizon;
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+
+  // A partition that heals: group 0 is cut off for three WAN round trips.
+  // Copies crossing the cut are lost for good (no retransmission below
+  // the protocols), so like the blackout cells these check safety only.
+  for (bool hb : {false, true}) {
+    Scenario s = makeBase(hb ? "partition-heal-hb" : "partition-heal",
+                          LatencyPreset::kWan);
+    if (hb) s.config.stack.fdKind = fd::FdKind::kHeartbeat;
+    s.partitions.push_back(
+        PartitionSpec{GroupSet::single(0), 150 * kMs, 450 * kMs});
+    s.runUntil = v2Horizon;
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+
+  if (traits.toleratesCrashes) {
+    // Crash + recovery, scripted: one process of group 0 is down for two
+    // WAN round trips, then rejoins with reset state. Integrity binds per
+    // incarnation; uniform order skips the amnesiac; and when the
+    // protocol re-integrates recovered processes, they must deliver the
+    // post-recovery messages every correct addressee delivered.
+    for (bool hb : {false, true}) {
+      Scenario s = makeBase(hb ? "crash-recover-hb" : "crash-recover",
+                            LatencyPreset::kWan);
+      if (hb) s.config.stack.fdKind = fd::FdKind::kHeartbeat;
+      s.crashes.push_back(CrashSpec{1, 200 * kMs});
+      s.recoveries.push_back(RecoverSpec{1, 500 * kMs});
+      // Keep arrivals coming well past the recovery instant: the
+      // recovered-delivery obligation is vacuous unless messages are
+      // cast AFTER the rejoin (the rotating senders include the
+      // recovered process itself — alive again, it casts again).
+      s.workload->count = opt.casts + 4;
+      s.runUntil = v2Horizon;
+      s.withDefaultExpectations();
+      out.push_back(std::move(s));
+    }
+    {
+      // Seed-derived minority crashes, every victim recovering after a
+      // seed-derived delay, under adversarial jitter.
+      Scenario s = makeBase("crash-recover-sweep", LatencyPreset::kMixed);
+      s.randomCrashes = RandomCrashes{1, 50 * kMs, kSec, 0xc4a5};
+      s.randomRecoveries = RandomRecoveries{};
+      s.runUntil = v2Horizon;
+      s.withDefaultExpectations();
+      out.push_back(std::move(s));
+    }
+    {
+      // Partition + recovery combined: the healing cut and the amnesiac
+      // rejoin interact (suspicion from the partition must retract while
+      // the recovered process re-integrates). Safety-only, like every
+      // partition cell.
+      Scenario s = makeBase("partition-recover", LatencyPreset::kWan);
+      s.partitions.push_back(
+          PartitionSpec{GroupSet::single(1), 150 * kMs, 450 * kMs});
+      s.crashes.push_back(CrashSpec{1, 200 * kMs});
+      s.recoveries.push_back(RecoverSpec{1, 600 * kMs});
+      s.workload->count = opt.casts + 4;  // arrivals past the recovery
+      s.runUntil = v2Horizon;
+      s.withDefaultExpectations();
+      out.push_back(std::move(s));
+    }
   }
 
   return out;

@@ -62,6 +62,45 @@ struct RandomCrashes {
   uint64_t salt = 0xc4a5;  // folded with the scenario seed
 };
 
+// Recover process `pid` at simulated time `when`: a FRESH node (reset
+// protocol state, re-registered timers) replaces the crashed one — the
+// crash-recovery model without stable storage. A no-op if the process is
+// alive at `when`.
+struct RecoverSpec {
+  ProcessId pid = kNoProcess;
+  SimTime when = 0;
+};
+
+// Seed-derived recovery plan: every crash of the effective crash schedule
+// (scripted + materialized random crashes) recovers after a delay drawn
+// uniformly from [delayMin, delayMax].
+struct RandomRecoveries {
+  SimTime delayMin = 200 * kMs;
+  SimTime delayMax = 600 * kMs;
+  uint64_t salt = 0x9ec0;  // folded with the scenario seed
+};
+
+// Cut the groups in `side` off from the rest of the topology during
+// [from, until) — copies sent across the cut are dropped deterministically
+// and the link heals at `until` (kTimeNever: never heals).
+struct PartitionSpec {
+  GroupSet side{};
+  SimTime from = 0;
+  SimTime until = kTimeNever;
+};
+
+// Seed-derived partition plan: `count` healing partitions, each cutting
+// one random group for a duration in [durMin, durMax], starting within
+// [earliest, latest].
+struct RandomPartitions {
+  int count = 1;
+  SimTime earliest = 100 * kMs;
+  SimTime latest = 800 * kMs;
+  SimTime durMin = 150 * kMs;
+  SimTime durMax = 400 * kMs;
+  uint64_t salt = 0x9a27;  // folded with the scenario seed
+};
+
 // Declarative message-drop rule. A packet is dropped when EVERY restriction
 // matches and the (deterministic) coin comes up under `probability`.
 // Unset fields match anything.
@@ -83,6 +122,16 @@ struct DropSpec {
 [[nodiscard]] std::vector<CrashSpec> materializeCrashes(
     const Topology& topo, const RandomCrashes& plan, uint64_t seed);
 
+// Materialize a random recovery plan against an effective crash schedule
+// (one recovery per crash, delay drawn per crash in schedule order).
+[[nodiscard]] std::vector<RecoverSpec> materializeRecoveries(
+    const std::vector<CrashSpec>& crashes, const RandomRecoveries& plan,
+    uint64_t seed);
+
+// Materialize a random partition plan against a topology.
+[[nodiscard]] std::vector<PartitionSpec> materializePartitions(
+    const Topology& topo, const RandomPartitions& plan, uint64_t seed);
+
 // ---------------------------------------------------------------------------
 // Property expectations.
 // ---------------------------------------------------------------------------
@@ -95,6 +144,13 @@ struct PropertyExpectations {
   bool uniform = true;          // uniform vs correct-only agreement & order
   bool checkLiveness = true;    // validity + agreement delivery obligations
   bool checkGenuineness = false;
+  // Recovery semantics (fault plane v2): integrity always binds per
+  // incarnation and uniform order skips recovered processes (see
+  // verify::recoveredProcesses); this flag additionally demands that a
+  // recovered process deliver every post-recovery message the correct
+  // addressees all delivered (verify::checkRecoveredDelivery) — only
+  // sound for protocols whose traits say recoveredRejoins.
+  bool checkRecoveredDelivery = false;
   std::optional<SimTime> quiescenceBudget;  // if set, check quiescence
   size_t minDeliveries = 0;     // sanity floor: the run must not stall flat
 };
@@ -105,6 +161,12 @@ struct ProtocolTraits {
   bool toleratesCrashes = true;
   bool uniform = true;    // uniform agreement under crashes
   bool genuine = true;    // only sender+addressees participate
+  // Does an amnesiac recovered process re-integrate far enough to deliver
+  // NEW messages (those cast after its recovery)? Protocols that gate
+  // delivery on state the dead incarnation held (sequencer epochs, merge
+  // frontiers, missed consensus instances) do not; set from observed
+  // behavior under the recover matrix cells.
+  bool recoveredRejoins = false;
 };
 [[nodiscard]] ProtocolTraits traitsOf(core::ProtocolKind kind);
 
@@ -139,6 +201,10 @@ struct Scenario {
   std::vector<ScheduledCast> casts;
   std::vector<CrashSpec> crashes;           // scripted crash schedule
   std::optional<RandomCrashes> randomCrashes;  // + seed-derived crashes
+  std::vector<RecoverSpec> recoveries;      // scripted recovery schedule
+  std::optional<RandomRecoveries> randomRecoveries;  // + seed-derived
+  std::vector<PartitionSpec> partitions;    // scripted partition windows
+  std::optional<RandomPartitions> randomPartitions;  // + seed-derived
   std::vector<DropSpec> drops;
   SimTime runUntil = 600 * kSec;
   PropertyExpectations expect{};
@@ -153,6 +219,8 @@ struct ScenarioResult {
   uint64_t seed = 0;
   core::RunResult run;
   std::vector<CrashSpec> effectiveCrashes;  // scripted + materialized
+  std::vector<RecoverSpec> effectiveRecoveries;
+  std::vector<PartitionSpec> effectivePartitions;
   verify::Violations violations;
   std::string fingerprint;  // canonical trace serialization
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace wanmc::verify {
 
@@ -56,16 +57,46 @@ Violations prefixOrderOver(const CheckContext& ctx,
   return out;
 }
 
+// Sorted recovery times per process, for incarnation segmentation.
+std::map<ProcessId, std::vector<SimTime>> recoveryTimes(
+    const CheckContext& ctx) {
+  std::map<ProcessId, std::vector<SimTime>> out;
+  for (const auto& r : ctx.trace->recoveries) out[r.process].push_back(r.when);
+  for (auto& [p, times] : out) std::sort(times.begin(), times.end());
+  return out;
+}
+
+// Incarnation index of a delivery: the number of recoveries of `p` at or
+// before `when` (a recovery strictly precedes anything its fresh node
+// delivers at the same instant).
+int incarnationAt(const std::vector<SimTime>& times, SimTime when) {
+  return static_cast<int>(
+      std::upper_bound(times.begin(), times.end(), when) - times.begin());
+}
+
 }  // namespace
+
+std::set<ProcessId> recoveredProcesses(const CheckContext& ctx) {
+  std::set<ProcessId> out;
+  for (const auto& r : ctx.trace->recoveries) out.insert(r.process);
+  return out;
+}
 
 Violations checkUniformIntegrity(const CheckContext& ctx) {
   Violations out;
   std::set<MsgId> cast;
   for (const auto& c : ctx.trace->casts) cast.insert(c.msg);
+  const auto recTimes = recoveryTimes(ctx);
 
-  std::map<std::pair<ProcessId, MsgId>, int> count;
+  // The duplicate check binds per (process, incarnation): an amnesiac
+  // recovered process may re-deliver what its dead incarnation delivered,
+  // but never the same message twice within one incarnation.
+  std::map<std::tuple<ProcessId, int, MsgId>, int> count;
   for (const auto& d : ctx.trace->deliveries) {
-    ++count[{d.process, d.msg}];
+    int inc = 0;
+    if (auto it = recTimes.find(d.process); it != recTimes.end())
+      inc = incarnationAt(it->second, d.when);
+    ++count[{d.process, inc, d.msg}];
     if (!cast.count(d.msg))
       out.push_back(pname(d.process) + " delivered " + mname(d.msg) +
                     " which was never A-XCast");
@@ -75,8 +106,55 @@ Violations checkUniformIntegrity(const CheckContext& ctx) {
   }
   for (const auto& [key, n] : count) {
     if (n > 1)
-      out.push_back(pname(key.first) + " delivered " + mname(key.second) +
-                    " " + std::to_string(n) + " times");
+      out.push_back(pname(std::get<0>(key)) + " delivered " +
+                    mname(std::get<2>(key)) + " " + std::to_string(n) +
+                    " times");
+  }
+  return out;
+}
+
+Violations checkRecoveredDelivery(const CheckContext& ctx) {
+  Violations out;
+  const auto recTimes = recoveryTimes(ctx);
+  if (recTimes.empty()) return out;
+
+  std::map<ProcessId, std::set<MsgId>> deliveredBy;
+  for (const auto& d : ctx.trace->deliveries)
+    deliveredBy[d.process].insert(d.msg);
+
+  std::map<ProcessId, SimTime> lastCrash;
+  for (const auto& c : ctx.trace->crashes)
+    lastCrash[c.process] = std::max(lastCrash[c.process], c.when);
+
+  for (const auto& [p, times] : recTimes) {
+    const SimTime lastRecovery = times.back();
+    // A process that crashed AGAIN after its final recovery ends the run
+    // down: it owes no deliveries (crash-recover-crash is a legitimate
+    // schedule, not a liveness failure).
+    if (auto it = lastCrash.find(p);
+        it != lastCrash.end() && it->second > lastRecovery)
+      continue;
+    for (const auto& c : ctx.trace->casts) {
+      if (c.when <= lastRecovery) continue;  // pre-recovery: no obligation
+      if (!isAddressee(ctx, p, c.msg)) continue;
+      // Only messages the correct addressees all delivered: the protocol
+      // demonstrably completed them, so the recovered process — alive the
+      // whole time — must have delivered too.
+      bool settled = true;
+      for (ProcessId q : ctx.correct) {
+        if (!isAddressee(ctx, q, c.msg)) continue;
+        if (!deliveredBy[q].count(c.msg)) {
+          settled = false;
+          break;
+        }
+      }
+      if (!settled) continue;
+      if (!deliveredBy[p].count(c.msg))
+        out.push_back("recovery: " + pname(p) + " (recovered at t=" +
+                      std::to_string(lastRecovery) + "us) never delivered " +
+                      mname(c.msg) + " cast at t=" + std::to_string(c.when) +
+                      "us although every correct addressee did");
+    }
   }
   return out;
 }
@@ -136,8 +214,14 @@ Violations checkAgreementCorrectOnly(const CheckContext& ctx) {
 }
 
 Violations checkUniformPrefixOrder(const CheckContext& ctx) {
+  // Recovered processes are skipped: an amnesiac rejoin restarts its
+  // sequence mid-run, so no prefix comparison across the gap is sound
+  // (see recoveredProcesses). Their deliveries still bind under uniform
+  // agreement and per-incarnation integrity.
+  const std::set<ProcessId> recovered = recoveredProcesses(ctx);
   std::set<ProcessId> all;
-  for (ProcessId p : ctx.topo->allProcesses()) all.insert(p);
+  for (ProcessId p : ctx.topo->allProcesses())
+    if (!recovered.count(p)) all.insert(p);
   return prefixOrderOver(ctx, all);
 }
 

@@ -26,9 +26,33 @@ struct CheckContext {
 
 using Violations = std::vector<std::string>;
 
-// Uniform integrity: every process A-Delivers a message at most once, only
-// if it is an addressee, and only if the message was A-XCast.
+// Processes that crashed and later RECOVERED (fault plane v2), derived
+// from the trace's recovery events. A recovered process is an amnesiac
+// rejoin: it is NOT correct (the paper's "correct" means never crashed),
+// its delivery sequence restarts, and the checkers treat it specially:
+//   * integrity binds PER INCARNATION (it may re-deliver a message its
+//     dead incarnation delivered — it kept no state — but never twice
+//     within one incarnation, and never a message it is no addressee of);
+//   * prefix-order pairs involving it are skipped (its sequence has a
+//     gap no prefix comparison can interpret); correct-only checks never
+//     saw it anyway;
+//   * uniform agreement still counts its deliveries as obligations on the
+//     correct processes — uniformity is exactly the promise that ANY
+//     delivery, even by a process that later crashed or recovered, binds.
+[[nodiscard]] std::set<ProcessId> recoveredProcesses(const CheckContext& ctx);
+
+// Uniform integrity: every process A-Delivers a message at most once (per
+// incarnation, see above), only if it is an addressee, and only if the
+// message was A-XCast.
 Violations checkUniformIntegrity(const CheckContext& ctx);
+
+// Recovered-process liveness: a message cast strictly after a process's
+// final recovery, addressed to it, and delivered by every correct
+// addressee must eventually be delivered by the recovered process too —
+// it is alive for the message's whole lifetime. (Only checkable when the
+// protocol re-integrates amnesiac processes; gate on
+// ProtocolTraits::recoveredRejoins.)
+Violations checkRecoveredDelivery(const CheckContext& ctx);
 
 // Validity: if a correct process A-XCasts m, every correct addressee
 // eventually A-Delivers m (checked at end of run: "eventually" = "by now").

@@ -8,6 +8,7 @@ StreamingOrderChecker::StreamingOrderChecker(const Topology& topo)
     : topo_(&topo), n_(topo.numProcesses()) {
   const auto n = static_cast<size_t>(n_);
   pairs_.resize(n * (n - 1) / 2);
+  excluded_.assign(n, 0);
 }
 
 void StreamingOrderChecker::onCast(const CastEvent& ev) {
@@ -50,13 +51,14 @@ void StreamingOrderChecker::advance(PairState& st, ProcessId p, ProcessId q,
 
 void StreamingOrderChecker::onDeliver(const DeliveryEvent& ev) {
   const ProcessId p = ev.process;
+  if (excluded_[static_cast<size_t>(p)] != 0) return;
   const size_t idx = static_cast<size_t>(ev.msg);
   const uint64_t bits = idx < destBits_.size() ? destBits_[idx] : 0;
   if (bits == 0) return;  // never cast: integrity's problem, not order's
   if (((bits >> topo_->group(p)) & 1u) == 0) return;  // p not an addressee
   const std::vector<ProcessId>& members = memberCache_.find(bits)->second;
   for (ProcessId q : members) {
-    if (q == p) continue;
+    if (q == p || excluded_[static_cast<size_t>(q)] != 0) continue;
     const ProcessId lo = p < q ? p : q;
     const ProcessId hi = p < q ? q : p;
     advance(pairs_[pairIndex(lo, hi)], lo, hi, p, ev.msg);

@@ -38,6 +38,15 @@ class StreamingOrderChecker final : public sim::RunObserver {
   // before the run starts.
   explicit StreamingOrderChecker(const Topology& topo);
 
+  // Excludes `p` from all pair comparisons. Call BEFORE the run for
+  // processes scheduled to crash-and-RECOVER: a recovered process rejoins
+  // with reset state, so its delivery sequence restarts mid-run and
+  // cross-incarnation prefix comparison is meaningless (matches the
+  // trace-based checkers, which skip recovered processes the same way).
+  void excludeProcess(ProcessId p) {
+    excluded_[static_cast<size_t>(p)] = 1;
+  }
+
   void onCast(const CastEvent& ev) override;
   void onDeliver(const DeliveryEvent& ev) override;
 
@@ -82,6 +91,7 @@ class StreamingOrderChecker final : public sim::RunObserver {
   const Topology* topo_;
   int n_ = 0;
   std::vector<PairState> pairs_;
+  std::vector<uint8_t> excluded_;  // recovered processes, dense by pid
   uint64_t violatedPairs_ = 0;
 
   // Destination bits per message, dense by MsgId (ids are sequential).

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace wanmc::testing {
 
@@ -59,15 +61,47 @@ inline void checkOrRegenGolden(
       << "cell set changed: " << golden.size() << " golden cells vs "
       << actual.size() << " actual";
   int mismatches = 0;
+  std::vector<std::string> divergedKeys;
+  std::vector<std::string> newKeys;
   for (const auto& [k, h] : actual) {
     auto it = golden.find(k);
     if (it == golden.end()) {
+      newKeys.push_back(k);
       ADD_FAILURE() << "cell not in golden file: " << k;
     } else if (it->second != h) {
-      ADD_FAILURE() << "fingerprint diverged: " << k;
-      if (++mismatches >= 10) break;  // don't flood the log
+      divergedKeys.push_back(k);
+      if (++mismatches <= 10)  // don't flood the log
+        ADD_FAILURE() << "fingerprint diverged: " << k;
     }
   }
+  std::vector<std::string> missingKeys;
+  for (const auto& [k, h] : golden)
+    if (!actual.count(k)) missingKeys.push_back(k);
+
+  if (divergedKeys.empty() && newKeys.empty() && missingKeys.empty()) return;
+
+  // Determinism breaks must be diagnosable from the CI run page: write
+  // the observed hashes and a per-cell diff summary next to the build
+  // (WANMC_GOLDEN_DIFF_DIR, set by CMake to <build>/golden_diff; CI
+  // uploads the directory as an artifact when golden tests fail).
+  const char* diffDir = std::getenv("WANMC_GOLDEN_DIFF_DIR");
+#ifdef WANMC_GOLDEN_DIFF_DIR_DEFAULT
+  if (diffDir == nullptr) diffDir = WANMC_GOLDEN_DIFF_DIR_DEFAULT;
+#endif
+  if (diffDir == nullptr) return;
+  std::filesystem::create_directories(diffDir);
+  const std::string stem =
+      std::filesystem::path(path).filename().string();
+  {
+    std::ofstream out(std::string(diffDir) + "/" + stem + ".actual");
+    for (const auto& [key, hash] : actual)
+      out << key << " " << std::hex << hash << std::dec << "\n";
+  }
+  std::ofstream diff(std::string(diffDir) + "/" + stem + ".diff");
+  diff << "# golden: " << path << "\n";
+  for (const auto& k : divergedKeys) diff << "diverged " << k << "\n";
+  for (const auto& k : newKeys) diff << "only-in-actual " << k << "\n";
+  for (const auto& k : missingKeys) diff << "only-in-golden " << k << "\n";
 }
 
 }  // namespace wanmc::testing

@@ -102,5 +102,134 @@ TEST(HeartbeatFd, GeneratesPeriodicTraffic) {
   EXPECT_LT(total, 120u);
 }
 
+// ---------------------------------------------------------------------------
+// Cross-group scoping (fault plane v2): per-remote-group heartbeat lanes,
+// suspicion retraction on recovery and partition heal.
+// ---------------------------------------------------------------------------
+
+// A host whose detector monitors its own group PLUS every remote group
+// (the widened scope a cross-group consensus stack like Rodrigues uses).
+class ScopedFdHost final : public sim::Node {
+ public:
+  ScopedFdHost(sim::Runtime& rt, ProcessId pid, fd::FdKind kind)
+      : sim::Node(rt, pid) {
+    det = fd::makeFd(kind, rt, pid, rt.topology().members(gid()),
+                     /*oracleDelay=*/0,
+                     fd::HeartbeatFd::Params{20 * kMs, 80 * kMs},
+                     fd::HeartbeatFd::Params{60 * kMs, 400 * kMs});
+    for (GroupId g = 0; g < rt.topology().numGroups(); ++g)
+      if (g != gid()) det->addRemoteGroup(g, rt.topology().members(g));
+    det->onSuspicion([this](ProcessId p) { suspicions.push_back(p); });
+    det->onRetraction([this](ProcessId p) { retractions.push_back(p); });
+  }
+  void onStart() override { det->start(); }
+  void onMessage(ProcessId from, const PayloadPtr& p) override {
+    det->onMessage(from, *p);
+  }
+  std::unique_ptr<fd::FailureDetector> det;
+  std::vector<ProcessId> suspicions;
+  std::vector<ProcessId> retractions;
+};
+
+struct ScopedFixture {
+  ScopedFixture(int groups, int procs, fd::FdKind kind)
+      : rt(Topology(groups, procs),
+           sim::LatencyModel::fixed(kMs, 100 * kMs), 1) {
+    for (ProcessId p = 0; p < groups * procs; ++p) {
+      auto n = std::make_unique<ScopedFdHost>(rt, p, kind);
+      hosts.push_back(n.get());
+      rt.attach(p, std::move(n));
+    }
+    rt.setNodeFactory([this, kind](ProcessId p) {
+      auto n = std::make_unique<ScopedFdHost>(rt, p, kind);
+      hosts[static_cast<size_t>(p)] = n.get();
+      return n;
+    });
+    rt.start();
+  }
+  sim::Runtime rt;
+  std::vector<ScopedFdHost*> hosts;
+};
+
+TEST(HeartbeatFdScoped, SuspectsRemoteGroupCrash) {
+  // g0 = {0,1}, g1 = {2,3}: p0 must learn of p2's crash through its
+  // remote lane — the pre-v2 detector (own-group scope) never would.
+  ScopedFixture f(2, 2, fd::FdKind::kHeartbeat);
+  f.rt.scheduleCrash(2, 500 * kMs);
+  f.rt.run(2 * kSec);
+  EXPECT_TRUE(f.hosts[0]->det->suspects(2));
+  EXPECT_TRUE(f.hosts[1]->det->suspects(2));
+  EXPECT_TRUE(f.hosts[3]->det->suspects(2));  // own group still works
+  EXPECT_FALSE(f.hosts[0]->det->suspects(3));
+}
+
+TEST(HeartbeatFdScoped, NoFalseSuspicionAcrossAliveLinks) {
+  // Partition g0 away: g1 and g2 stay connected to each other. g1 may
+  // (correctly) suspect the unreachable g0 processes, but must never
+  // suspect g2's — their link is alive — and g0's members must not
+  // suspect EACH OTHER (the intra lane never crossed the cut).
+  ScopedFixture f(3, 2, fd::FdKind::kHeartbeat);
+  f.rt.partition(GroupSet::single(0), 100 * kMs, kTimeNever);
+  f.rt.run(3 * kSec);
+  for (ProcessId p : {2, 3, 4, 5}) {
+    EXPECT_FALSE(f.hosts[2]->det->suspects(p)) << "p" << p;
+    EXPECT_FALSE(f.hosts[4]->det->suspects(p)) << "p" << p;
+  }
+  EXPECT_TRUE(f.hosts[2]->det->suspects(0));  // cut side IS unreachable
+  EXPECT_FALSE(f.hosts[0]->det->suspects(1));  // intra lane unaffected
+  EXPECT_TRUE(f.hosts[0]->det->suspects(2));  // and symmetric outward
+}
+
+TEST(HeartbeatFdScoped, RetractsAfterHeal) {
+  ScopedFixture f(2, 2, fd::FdKind::kHeartbeat);
+  f.rt.partition(GroupSet::single(0), 100 * kMs, 1500 * kMs);
+  f.rt.run(1200 * kMs);
+  ASSERT_TRUE(f.hosts[0]->det->suspects(2));  // suspected during the cut
+  f.rt.run(3 * kSec);  // heal at 1.5s: heartbeats flow again
+  EXPECT_FALSE(f.hosts[0]->det->suspects(2));
+  EXPECT_FALSE(f.hosts[2]->det->suspects(0));
+  // The rehabilitation was signalled, not just flag-cleared.
+  EXPECT_FALSE(f.hosts[0]->retractions.empty());
+  EXPECT_EQ(f.hosts[0]->retractions[0],
+            f.hosts[0]->suspicions[0]);
+}
+
+TEST(HeartbeatFdScoped, RetractsAfterRecovery) {
+  ScopedFixture f(2, 2, fd::FdKind::kHeartbeat);
+  f.rt.scheduleCrash(2, 200 * kMs);
+  f.rt.scheduleRecover(2, 1500 * kMs);
+  f.rt.run(1200 * kMs);
+  ASSERT_TRUE(f.hosts[0]->det->suspects(2));
+  ASSERT_TRUE(f.hosts[3]->det->suspects(2));
+  f.rt.run(4 * kSec);  // recovered: fresh heartbeats rehabilitate
+  EXPECT_FALSE(f.hosts[0]->det->suspects(2));
+  EXPECT_FALSE(f.hosts[3]->det->suspects(2));
+  // The fresh incarnation's own detector starts clean and suspects
+  // nobody who is alive.
+  for (ProcessId p = 0; p < 4; ++p)
+    EXPECT_FALSE(f.hosts[2]->det->suspects(p)) << "p" << p;
+}
+
+TEST(OracleFd, RetractsOnRecoveryAndSeedsLateDetectors) {
+  ScopedFixture f(2, 2, fd::FdKind::kOracle);
+  f.rt.scheduleCrash(2, 100 * kMs);
+  f.rt.scheduleRecover(2, 500 * kMs);
+  f.rt.run(300 * kMs);
+  ASSERT_TRUE(f.hosts[0]->det->suspects(2));
+  f.rt.run(kSec);
+  // Retraction at the instant of recovery — the oracle reads the truth.
+  EXPECT_FALSE(f.hosts[0]->det->suspects(2));
+  EXPECT_EQ(f.hosts[0]->retractions, std::vector<ProcessId>{2});
+  // A detector constructed mid-run (the recovered node's) is seeded with
+  // the processes that are crashed at construction time.
+  ScopedFixture g(2, 2, fd::FdKind::kOracle);
+  g.rt.scheduleCrash(0, 100 * kMs);
+  g.rt.scheduleCrash(2, 150 * kMs);
+  g.rt.scheduleRecover(2, 400 * kMs);  // p0 still down at p2's rebirth
+  g.rt.run(2 * kSec);
+  EXPECT_TRUE(g.hosts[2]->det->suspects(0));
+  EXPECT_FALSE(g.hosts[2]->det->suspects(1));
+}
+
 }  // namespace
 }  // namespace wanmc

@@ -32,8 +32,12 @@ constexpr ProtocolKind kAllProtocols[] = {
 // (each cast chronologically precedes its deliveries, and the checker
 // keys only on destinations), then deliveries in recorded order — the
 // same per-process and global interleaving the live observer saw.
+// Recovered processes are excluded up front, exactly as ScenarioRunner
+// excludes them from its live checker (the trace-based oracle skips them
+// via verify::recoveredProcesses).
 verify::StreamingOrderChecker replay(const core::RunResult& r) {
   verify::StreamingOrderChecker checker(r.topo);
+  for (ProcessId p : r.recovered) checker.excludeProcess(p);
   for (const auto& c : r.trace.casts) checker.onCast(c);
   for (const auto& d : r.trace.deliveries) checker.onDeliver(d);
   return checker;
