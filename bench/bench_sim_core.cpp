@@ -3,11 +3,13 @@
 // Measures the simulation core itself — scheduler throughput, multicast
 // fan-out/delivery machinery, the DetMerge00 heartbeat storm, the
 // open-loop workload storm with the streaming metrics recorder off AND on
-// (their ratio is the recorder-overhead figure), and the 100-seed sweep
-// wall-clock (serial and thread-pool) — and emits a machine-readable JSON
-// report (BENCH_PR4.json is the checked-in baseline). Allocation counts
-// come from a global operator new hook, so every figure carries an
-// allocs-per-event column.
+// (their ratio is the recorder-overhead figure), the batch-size ladder
+// (batching off / max 8 / max 64 — the batch64/batch0 goodput ratio is the
+// amortization headline), and the 100-seed sweep wall-clock (serial and
+// thread-pool; the thread-pool leg is marked skipped on a single-core
+// box) — and emits a machine-readable JSON report (BENCH_PR6.json is the
+// checked-in baseline). Allocation counts come from a global operator new
+// hook, so every figure carries an allocs-per-event column.
 //
 //   bench_sim_core [--quick] [--jobs N] [--out FILE] [--check BASELINE]
 //
@@ -30,6 +32,7 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "testing/scenario.hpp"
@@ -128,6 +131,11 @@ struct Result {
   double allocsPerEvent = -1;
   double wallMs = 0;
   double normRate = 0;       // eventsPerSec / calibration draws-per-sec
+  double goodputPerSec = 0;  // completed casts per wall-second (0: n/a)
+  // A bench that could not run meaningfully in this environment (e.g. the
+  // thread-pool sweep on a single-core box). Emitted to the JSON so the
+  // gate can tell "skipped" from "regressed to nothing".
+  bool skipped = false;
   std::string note;
 };
 
@@ -305,7 +313,8 @@ Result benchHeartbeatStorm(int repeats) {
 // + workload generation) under sustained overload. With `metrics` on, the
 // streaming recorder (PR 4) observes every cast/delivery/send — the pair
 // of runs is the recorder-overhead measurement.
-uint64_t runOpenLoopStorm(int casts, bool metrics) {
+uint64_t runOpenLoopStorm(int casts, bool metrics,
+                          wanmc::SimTime batchWindow = 0, int batchMax = 0) {
   wanmc::core::RunConfig cfg;
   cfg.groups = 3;
   cfg.procsPerGroup = 3;
@@ -314,6 +323,8 @@ uint64_t runOpenLoopStorm(int casts, bool metrics) {
       wanmc::kMs, 2 * wanmc::kMs, 95 * wanmc::kMs, 110 * wanmc::kMs};
   cfg.seed = 1;
   cfg.metrics = metrics;
+  cfg.stack.batchWindow = batchWindow;
+  cfg.stack.batchMaxSize = batchMax;
   cfg.workload =
       wanmc::workload::Spec::openLoopPoisson(casts, 3 * wanmc::kMs, 2);
   wanmc::core::Experiment ex(cfg);
@@ -377,6 +388,46 @@ std::vector<Result> benchMetricsOverheadPair(int casts, int repeats,
           finish(on, "open_loop_storm_metrics", "on")};
 }
 
+// 7. Batch ladder (PR 6): the identical open-loop storm under the batching
+// plane at rising batch sizes. Batching amortizes the per-cast ordering
+// cost (one protocol instance per carrier instead of per cast), so the
+// wall-clock per completed cast — goodput_per_sec — is the figure: the
+// batch64/batch0 ratio is the headline amortization ceiling recorded in
+// the baseline JSON.
+std::vector<Result> benchBatchLadder(int casts, int repeats,
+                                     double* x64RatioOut) {
+  const wanmc::SimTime kWindow = 2 * wanmc::kSec;
+  std::vector<Result> out;
+  double unbatched = 0;
+  for (const int size : {0, 8, 64}) {
+    uint64_t fired = 0;
+    const auto samples = measure(
+        [&] {
+          fired = runOpenLoopStorm(casts, /*metrics=*/false,
+                                   size == 0 ? 0 : kWindow, size);
+        },
+        repeats);
+    const Sample& m = bestOf(samples);
+    Result r;
+    r.name = "open_loop_storm_batch" + std::to_string(size);
+    r.note = "A1 3x3 WAN, Poisson mean 3ms, " + std::to_string(casts) +
+             (size == 0 ? " casts, batching off"
+                        : " casts, batch window 2s, max " +
+                              std::to_string(size));
+    r.eventsPerSec = static_cast<double>(fired) / m.secs;
+    r.allocsPerEvent =
+        static_cast<double>(m.allocs) / static_cast<double>(fired);
+    r.wallMs = m.secs * 1e3;
+    r.normRate = bestNorm(samples, static_cast<double>(fired));
+    r.goodputPerSec = static_cast<double>(casts) / m.secs;
+    if (size == 0) unbatched = r.goodputPerSec;
+    if (size == 64 && unbatched > 0)
+      *x64RatioOut = r.goodputPerSec / unbatched;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 std::vector<Result> benchDetMergeSweep(int seeds, int jobs, int repeats) {
   wanmc::testing::ScenarioRunner runner(detMergeScenario());
   size_t bad = 0;
@@ -392,10 +443,19 @@ std::vector<Result> benchDetMergeSweep(int seeds, int jobs, int repeats) {
 
   Result parallel;
   parallel.name = "detmerge_sweep_jobs";
-  parallel.note = std::to_string(seeds) + " seeds, jobs=" +
-                  std::to_string(jobs);
-  parallel.wallMs =
-      bestOf(measure([&] { sweep(jobs); }, repeats)).secs * 1e3;
+  if (jobs <= 1) {
+    // A single-core box resolves the pool to one worker: the "parallel"
+    // sweep would re-measure the serial one and poison any multi-core
+    // baseline it is later compared against. Mark it skipped instead.
+    parallel.skipped = true;
+    parallel.note = std::to_string(seeds) +
+                    " seeds, skipped: thread pool resolved to jobs=1";
+  } else {
+    parallel.note = std::to_string(seeds) + " seeds, jobs=" +
+                    std::to_string(jobs);
+    parallel.wallMs =
+        bestOf(measure([&] { sweep(jobs); }, repeats)).secs * 1e3;
+  }
 
   if (bad > 0)
     std::fprintf(stderr, "WARNING: %zu sweep cells reported violations\n",
@@ -408,20 +468,26 @@ std::vector<Result> benchDetMergeSweep(int seeds, int jobs, int repeats) {
 // ---------------------------------------------------------------------------
 
 void writeJson(const std::string& path, const std::vector<Result>& results,
-               bool quick, int jobs, double metricsOverhead) {
+               bool quick, int jobs, unsigned hardwareConcurrency,
+               double metricsOverhead, double batchGoodputX64) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"wanmc-bench-v1\",\n";
   os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"hardware_concurrency\": " << hardwareConcurrency << ",\n";
   os << "  \"metrics_overhead\": " << metricsOverhead << ",\n";
+  os << "  \"batch_goodput_x64\": " << batchGoodputX64 << ",\n";
   os << "  \"benches\": {\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     os << "    \"" << r.name << "\": {";
+    if (r.skipped) os << "\"skipped\": true, ";
     if (r.eventsPerSec > 0) os << "\"events_per_sec\": " << r.eventsPerSec
                                << ", ";
     if (r.normRate > 0) os << "\"norm_rate\": " << r.normRate << ", ";
+    if (r.goodputPerSec > 0)
+      os << "\"goodput_per_sec\": " << r.goodputPerSec << ", ";
     if (r.allocsPerEvent >= 0)
       os << "\"allocs_per_event\": " << r.allocsPerEvent << ", ";
     os << "\"wall_ms\": " << r.wallMs << ", \"note\": \"" << r.note << "\"}"
@@ -453,11 +519,27 @@ bool extractField(const std::string& json, const std::string& bench,
   return *out > 0;
 }
 
+// True when the baseline recorded this bench as skipped (e.g. it was
+// produced on a single-core box): its numbers, if any, are not comparable.
+bool baselineSkipped(const std::string& json, const std::string& bench) {
+  const size_t at = json.find("\"" + bench + "\"");
+  if (at == std::string::npos) return false;
+  const size_t key = json.find("\"skipped\": true", at);
+  const size_t close = json.find('}', at);
+  return key != std::string::npos && close != std::string::npos &&
+         key < close;
+}
+
 int checkAgainstBaseline(const std::string& baseline,
                          const std::vector<Result>& results) {
   constexpr double kMaxRegression = 0.20;
   int failures = 0;
   for (const Result& r : results) {
+    if (r.skipped || baselineSkipped(baseline, r.name)) {
+      std::fprintf(stderr, "check %-18s: skipped (%s side), not gated\n",
+                   r.name.c_str(), r.skipped ? "current" : "baseline");
+      continue;
+    }
     if (r.eventsPerSec <= 0) continue;  // wall-clock-only bench: not gated
     // Gate on the calibration-normalized rate when the baseline has one
     // (machine-independent); fall back to the raw rate for old baselines.
@@ -547,6 +629,10 @@ int main(int argc, char** argv) {
                                           std::max(repeats, 5),
                                           &metricsOverhead))
     results.push_back(std::move(r));
+  double batchGoodputX64 = 0;
+  for (auto& r : benchBatchLadder(quick ? 400 : 2000, repeats,
+                                  &batchGoodputX64))
+    results.push_back(std::move(r));
   for (auto& r : benchDetMergeSweep(sweepSeeds, jobs, quick ? 1 : 3))
     results.push_back(std::move(r));
 
@@ -560,8 +646,11 @@ int main(int argc, char** argv) {
                "cleanest pair (gate %g%% on the latter)\n",
                metricsOverhead.median * 100, metricsOverhead.floor * 100,
                kMaxMetricsOverhead * 100);
+  std::fprintf(stderr, "batch_goodput_x64: %.1fx unbatched goodput\n",
+               batchGoodputX64);
 
-  writeJson(out, results, quick, jobs, metricsOverhead.median);
+  writeJson(out, results, quick, jobs, std::thread::hardware_concurrency(),
+            metricsOverhead.median, batchGoodputX64);
   if (!baseline.empty()) {
     int rc = checkAgainstBaseline(baselineText, results);
     if (metricsOverhead.floor > kMaxMetricsOverhead) {

@@ -15,11 +15,15 @@
 //   --workload-spec "open-poisson count=50 mean=20000 szipf=1.2"
 //                full serialized workload::Spec, overrides the other
 //                workload flags (see src/workload/spec.hpp)
-//   --format     summary (JSON) | messages (CSV) | deliveries (CSV) |
+//   --format     summary (JSON) | deliveries (CSV) |
 //                latency (CSV percentile rows, see core::writeLatencyCsv)
 //   --json-out / --csv-out    also write the summary JSON / latency CSV
 //                to a file. `sweep` accepts only --csv-out (the sweep CSV)
 //   --inter-ms / --intra-us   link latencies (fixed)
+//   --batch-window <ms> / --batch-max <n>
+//                batching plane (StackConfig::batchWindow/batchMaxSize):
+//                coalesce same-(sender,dest) casts for up to <ms>, flush
+//                early at <n> casts. 0 0 (the default) = batching off
 //   --crash <pid>:<ms>        schedule a crash (repeatable)
 //   --recover <pid>:<ms>      schedule a recovery (fresh incarnation,
 //                             reset state; no-op if alive; repeatable)
@@ -31,7 +35,8 @@
 //
 // `sweep` flags: --points K, --casts M, --cap C, --seeds S, --jobs J,
 // --interval-max-ms / --interval-min-ms (ladder endpoints), plus
-// --protocol/--groups/--procs/--dest-groups/--seed/--inter-ms/--intra-us,
+// --protocol/--groups/--procs/--dest-groups/--seed/--inter-ms/--intra-us/
+// --batch-window/--batch-max,
 // and --check-baseline FILE [--tolerance F]: compare this sweep's p50/p99
 // per load point against a baseline CSV and exit 1 on a >F regression
 // (default 0.25) — the CI percentile gate.
@@ -263,6 +268,10 @@ int sweepMain(int argc, char** argv) {
     } else if (arg == "--intra-us") {
       const SimTime v = std::atoi(next().c_str());
       opt.base.latency.intraMin = opt.base.latency.intraMax = v;
+    } else if (arg == "--batch-window") {
+      opt.base.stack.batchWindow = std::atoi(next().c_str()) * kMs;
+    } else if (arg == "--batch-max") {
+      opt.base.stack.batchMaxSize = std::atoi(next().c_str());
     } else if (arg == "--csv-out") {
       csvOut = next();
     } else if (arg == "--check-baseline") {
@@ -274,7 +283,8 @@ int sweepMain(int argc, char** argv) {
           "usage: wanmc_cli sweep [--protocol P] [--groups N] [--procs D] "
           "[--points K] [--casts M] [--cap C] [--seeds S] [--jobs J] "
           "[--dest-groups G] [--interval-max-ms A] [--interval-min-ms B] "
-          "[--seed S] [--inter-ms L] [--intra-us U] [--csv-out FILE] "
+          "[--seed S] [--inter-ms L] [--intra-us U] [--batch-window MS] "
+          "[--batch-max N] [--csv-out FILE] "
           "[--check-baseline FILE [--tolerance F]]\n");
       return 0;
     } else {
@@ -366,6 +376,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--intra-us") {
       const SimTime v = std::atoi(next().c_str());
       cfg.latency.intraMin = cfg.latency.intraMax = v;
+    } else if (arg == "--batch-window") {
+      cfg.stack.batchWindow = std::atoi(next().c_str()) * kMs;
+    } else if (arg == "--batch-max") {
+      cfg.stack.batchMaxSize = std::atoi(next().c_str());
     } else if (arg == "--format") {
       format = next();
     } else if (arg == "--json-out") {
@@ -386,9 +400,10 @@ int main(int argc, char** argv) {
                   "[--cap C] [--zipf-sender S] [--zipf-dest S] "
                   "[--burst-on-ms A] [--burst-off-ms B] [--burst-gap-ms G] "
                   "[--workload-spec \"MODEL k=v ...\"] "
-                  "[--seed S] [--inter-ms L] [--intra-us U] [--crash pid:ms] "
+                  "[--seed S] [--inter-ms L] [--intra-us U] "
+                  "[--batch-window MS] [--batch-max N] [--crash pid:ms] "
                   "[--recover pid:ms] [--partition g,g:fromMs:untilMs|never] "
-                  "[--format summary|messages|deliveries|latency] "
+                  "[--format summary|deliveries|latency] "
                   "[--json-out FILE] [--csv-out FILE]\n"
                   "       wanmc_cli sweep --help   for the sweep flags\n");
       return 0;
@@ -445,8 +460,6 @@ int main(int argc, char** argv) {
 
   if (format == "summary") {
     std::cout << summaryJson();
-  } else if (format == "messages") {
-    core::writeMessagesCsv(r, std::cout);
   } else if (format == "deliveries") {
     core::writeDeliveriesCsv(r, std::cout);
   } else if (format == "latency") {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Simulator hot-path benchmark runner.
 #
-#   scripts/bench.sh                     full run, writes BENCH_PR4.json
+#   scripts/bench.sh                     full run, writes BENCH_PR6.json
 #   scripts/bench.sh --quick             reduced budget (CI smoke)
 #   scripts/bench.sh --check FILE        also gate events/sec against FILE
 #                                        (exit 1 on >20% regression, or on
@@ -22,7 +22,7 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ -z "${OUT:-}" ]]; then
   case " $* " in
     *" --check "*) OUT="$BUILD_DIR/bench_report.json" ;;
-    *)             OUT="BENCH_PR4.json" ;;
+    *)             OUT="BENCH_PR6.json" ;;
   esac
 fi
 

@@ -34,12 +34,37 @@ RodriguesNode::RodriguesNode(sim::Runtime& rt, ProcessId pid,
   // and then it will never vote. Re-introduce every pending message it
   // owes a vote on; noteMessage dedups at the receiver, so this is
   // idempotent for a process that merely timed out spuriously.
-  fd().onRetraction([this](ProcessId p) {
+  //
+  // Which messages it owes depends on WHY the suspicion ended. A
+  // rehabilitated process (healed partition, premature timeout — same
+  // incarnation) kept its state: only messages it never voted on can be
+  // missing, and kData is enough. A FRESH incarnation lost every pending
+  // message AND every vote it had collected — including for messages it
+  // voted on before dying, which the pre-PR6 handler skipped, stranding
+  // the rejoin (its buffered consensus packets wait forever on a kData
+  // that never comes). For those, relay our whole COLLECTED VOTE MAP
+  // (every vote is broadcast to all destination processes, so a correct
+  // process's map is complete): the rejoin re-notes the message off the
+  // first relayed vote, re-votes, completes its vote set from the relay
+  // alone — even for messages other peers already delivered and will
+  // never mention again — and proposes; an already-decided instance
+  // answers the proposal with its decision (maybeRetransmitDecision).
+  // Re-sending only kData, or only our own vote, deadlocks the rejoin
+  // instead: it can never complete the vote set of a message whose other
+  // voters moved on, never proposes, never hears the decision, and its
+  // delivery queue stalls behind the undecidable entry forever.
+  fd().onRetraction([this](ProcessId p, bool fresh) {
     const GroupId pg = topology().group(p);
     for (const auto& [id, pend] : pending_) {
-      if (pend.votes.count(p) != 0 || !pend.msg->dest.contains(pg)) continue;
-      send(p, std::make_shared<const RodriguesPayload>(
-                  RodriguesPayload::Kind::kData, pend.msg, 0));
+      if (!pend.msg->dest.contains(pg)) continue;
+      if (fresh) {
+        for (const auto& [voter, ts] : pend.votes)
+          send(p, std::make_shared<const RodriguesPayload>(
+                      RodriguesPayload::Kind::kVote, pend.msg, ts, voter));
+      } else if (pend.votes.count(p) == 0) {
+        send(p, std::make_shared<const RodriguesPayload>(
+                    RodriguesPayload::Kind::kData, pend.msg, 0));
+      }
     }
   });
 }
@@ -102,7 +127,10 @@ void RodriguesNode::onProtocolMessage(ProcessId from, const PayloadPtr& p) {
   if (rp->kind == RodriguesPayload::Kind::kVote) {
     auto it = pending_.find(rp->msg->id);
     if (it != pending_.end()) {
-      it->second.votes[from] = rp->ts;
+      // Relayed votes (amnesiac catch-up) carry an explicit voter; a
+      // normal vote is the sender's own.
+      const ProcessId voter = rp->voter == kNoProcess ? from : rp->voter;
+      it->second.votes[voter] = rp->ts;
       // Keep the local clock ahead of every vote seen: later messages then
       // vote (and decide) above everything already ordered.
       clock_ = std::max(clock_, rp->ts + 1);

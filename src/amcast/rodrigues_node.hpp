@@ -34,13 +34,20 @@ struct RodriguesPayload final : Payload {
   Kind kind = Kind::kData;
   AppMsgPtr msg;
   uint64_t ts = 0;  // the vote
+  // Whose vote `ts` is. kNoProcess (the default, and every pre-PR6
+  // packet): the network sender's own. Set explicitly when a process
+  // RELAYS its collected vote map to a recovered amnesiac rejoin — the
+  // relay carries votes cast by third parties.
+  ProcessId voter = kNoProcess;
 
-  RodriguesPayload(Kind k, AppMsgPtr m, uint64_t t)
-      : kind(k), msg(std::move(m)), ts(t) {}
+  RodriguesPayload(Kind k, AppMsgPtr m, uint64_t t,
+                   ProcessId v = kNoProcess)
+      : kind(k), msg(std::move(m)), ts(t), voter(v) {}
   [[nodiscard]] Layer layer() const override { return Layer::kProtocol; }
   [[nodiscard]] std::string debugString() const override {
     return std::string(kind == Kind::kData ? "rod-data(m" : "rod-vote(m") +
-           std::to_string(msg->id) + "," + std::to_string(ts) + ")";
+           std::to_string(msg->id) + "," + std::to_string(ts) +
+           (voter == kNoProcess ? "" : ",v" + std::to_string(voter)) + ")";
   }
 };
 

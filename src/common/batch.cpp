@@ -1,0 +1,87 @@
+#include "common/batch.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace wanmc {
+
+namespace {
+
+void putU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void putU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint32_t getU32(const std::string& in, size_t& pos) {
+  if (in.size() - pos < 4)
+    throw std::invalid_argument("batch body: truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[pos++])) << (8 * i);
+  return v;
+}
+
+uint64_t getU64(const std::string& in, size_t& pos) {
+  if (in.size() - pos < 8)
+    throw std::invalid_argument("batch body: truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[pos++])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string encodeBatchBody(const std::vector<AppMsgPtr>& casts) {
+  std::string out;
+  putU32(out, static_cast<uint32_t>(casts.size()));
+  for (const AppMsgPtr& c : casts) {
+    putU64(out, c->id);
+    putU32(out, static_cast<uint32_t>(c->body.size()));
+    out += c->body;
+  }
+  return out;
+}
+
+std::vector<AppMsgPtr> decodeBatchBody(ProcessId sender, GroupSet dest,
+                                       const std::string& wire) {
+  size_t pos = 0;
+  const uint32_t count = getU32(wire, pos);
+  std::vector<AppMsgPtr> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const MsgId id = getU64(wire, pos);
+    const uint32_t len = getU32(wire, pos);
+    if (wire.size() - pos < len)
+      throw std::invalid_argument("batch body: truncated cast body");
+    out.push_back(makeAppMessage(id, sender, dest, wire.substr(pos, len)));
+    pos += len;
+  }
+  if (pos != wire.size())
+    throw std::invalid_argument("batch body: trailing bytes");
+  return out;
+}
+
+BatchMessage::BatchMessage(MsgId i, ProcessId s, GroupSet d,
+                           std::vector<AppMsgPtr> cs)
+    : AppMessage(i, s, d, encodeBatchBody(cs)), casts(std::move(cs)) {
+  batch = true;
+}
+
+AppMsgPtr makeCarrier(MsgId id, ProcessId sender, GroupSet dest,
+                      std::vector<AppMsgPtr> casts) {
+  assert(!casts.empty());
+  for ([[maybe_unused]] const AppMsgPtr& c : casts)
+    assert(c->sender == sender && c->dest == dest && !c->batch);
+  return std::make_shared<const BatchMessage>(id, sender, dest,
+                                              std::move(casts));
+}
+
+}  // namespace wanmc

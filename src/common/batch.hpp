@@ -1,0 +1,60 @@
+// Batch carriers: one AppMessage standing in for a window of casts.
+//
+// The batching plane (src/core/batcher.hpp) amortizes the per-cast ordering
+// cost — one consensus / timestamp-exchange instance per A-XCast — by
+// accumulating casts with the same (sender, destination-set) into a carrier
+// message and running the protocol once per carrier. The stacks order the
+// carrier like any other AppMessage; at A-Deliver time the harness expands
+// it back into its constituent casts in batch-internal (enqueue) order, so
+// every per-message property checker and latency accountant keeps operating
+// on individual casts. Carriers are an ordering-layer artifact: they never
+// appear in the run trace and their ids are never observed by verify:: or
+// metrics::.
+//
+// Wire shape: the carrier body is a length-prefixed concatenation of the
+// constituent (id, body) pairs, little-endian fixed-width — what a real
+// implementation would put on the wire. Sender and destination set are NOT
+// repeated per constituent: the batch key guarantees they are shared with
+// the carrier. The in-memory carrier additionally keeps the decoded
+// constituent pointers so delivery-time expansion costs no parsing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/message.hpp"
+
+namespace wanmc {
+
+// A carrier and its constituents. Constituents are ordinary AppMessages in
+// batch-internal order; `body` holds their wire encoding. Detection goes
+// through AppMessage::batch (set by the constructor), so the hot delivery
+// path needs no dynamic_cast.
+struct BatchMessage final : AppMessage {
+  std::vector<AppMsgPtr> casts;
+
+  BatchMessage(MsgId i, ProcessId s, GroupSet d, std::vector<AppMsgPtr> cs);
+};
+
+// Carrier for `casts` (all sharing `sender` and `dest` — asserted). The
+// carrier id comes from the experiment's message-id allocator so carrier
+// and constituent ids never collide.
+[[nodiscard]] AppMsgPtr makeCarrier(MsgId id, ProcessId sender, GroupSet dest,
+                                    std::vector<AppMsgPtr> casts);
+
+// Narrowing accessor: nullptr unless `m` is a carrier.
+[[nodiscard]] inline const BatchMessage* asBatch(const AppMsgPtr& m) {
+  return m && m->batch ? static_cast<const BatchMessage*>(m.get()) : nullptr;
+}
+
+// Wire codec for the carrier body. encode is what BatchMessage's
+// constructor stores in `body`; decode reconstructs the constituents of a
+// carrier received as raw bytes (the simulator hands the in-memory object
+// around, so decode is exercised by tests, not the hot path). decode
+// throws std::invalid_argument on a malformed buffer.
+[[nodiscard]] std::string encodeBatchBody(const std::vector<AppMsgPtr>& casts);
+[[nodiscard]] std::vector<AppMsgPtr> decodeBatchBody(ProcessId sender,
+                                                     GroupSet dest,
+                                                     const std::string& wire);
+
+}  // namespace wanmc

@@ -48,6 +48,9 @@ struct AppMessage {
   ProcessId sender = kNoProcess;
   GroupSet dest;            // m.dest: the addressed groups
   std::string body;         // opaque application data
+  bool batch = false;       // true: this is a BatchMessage carrier
+                            // (common/batch.hpp) — an ordering-layer
+                            // artifact, never surfaced in the trace
 
   AppMessage(MsgId i, ProcessId s, GroupSet d, std::string b)
       : id(i), sender(s), dest(d), body(std::move(b)) {}

@@ -1,0 +1,67 @@
+#include "core/batcher.hpp"
+
+#include <cassert>
+
+namespace wanmc::core {
+
+void BatchPlane::enqueue(ProcessId sender, const AppMsgPtr& m) {
+  assert(!rt_.crashed(sender));
+  const Key key{sender, m->dest.bits()};
+  const uint32_t inc = rt_.incarnation(sender);
+
+  auto it = open_.find(key);
+  if (it != open_.end() && it->second.inc != inc) {
+    // The open batch was accumulated by a dead incarnation of the sender:
+    // its casts die with it (never flushed, never delivered — safe, the
+    // crashed sender is not correct). The fresh incarnation starts clean.
+    rt_.scheduler().cancel(it->second.timer);
+    open_.erase(it);
+    it = open_.end();
+  }
+  if (it == open_.end()) {
+    Open o;
+    o.dest = m->dest;
+    o.inc = inc;
+    o.gen = nextGen_++;
+    const uint64_t gen = o.gen;
+    o.timer = rt_.scheduler().at(
+        rt_.now() + window_, [this, key, gen]() { onWindowExpiry(key, gen); });
+    it = open_.emplace(key, std::move(o)).first;
+  }
+
+  it->second.casts.push_back(m);
+  if (maxSize_ > 0 && static_cast<int>(it->second.casts.size()) >= maxSize_) {
+    rt_.scheduler().cancel(it->second.timer);
+    flushLocked(it);
+  }
+}
+
+void BatchPlane::onWindowExpiry(Key key, uint64_t gen) {
+  auto it = open_.find(key);
+  // Stale firing: the batch it was armed for was already flushed by its
+  // size bound (and the key possibly reopened since). Generation mismatch
+  // detects both.
+  if (it == open_.end() || it->second.gen != gen) return;
+  const ProcessId sender = key.first;
+  if (rt_.crashed(sender) || rt_.incarnation(sender) != it->second.inc) {
+    // The sender died (or died and reincarnated) while the window was
+    // open: drop the batch instead of flushing on behalf of a dead
+    // incarnation.
+    open_.erase(it);
+    return;
+  }
+  flushLocked(it);
+}
+
+void BatchPlane::flushLocked(std::map<Key, Open>::iterator it) {
+  const ProcessId sender = it->first.first;
+  const GroupSet dest = it->second.dest;
+  std::vector<AppMsgPtr> casts = std::move(it->second.casts);
+  // Erase before flushing: the flush xcasts the carrier, which can deliver
+  // synchronously (single-member consensus decides in place) and re-enter
+  // enqueue through a closed-loop workload.
+  open_.erase(it);
+  flush_(sender, dest, std::move(casts));
+}
+
+}  // namespace wanmc::core

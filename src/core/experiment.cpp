@@ -12,6 +12,8 @@
 #include "amcast/rodrigues_node.hpp"
 #include "amcast/skeen_node.hpp"
 #include "amcast/viabcast_node.hpp"
+#include "common/batch.hpp"
+#include "core/batcher.hpp"
 #include "metrics/recorder.hpp"
 #include "workload/generator.hpp"
 
@@ -110,6 +112,18 @@ Experiment::Experiment(RunConfig cfg) : cfg_(cfg) {
     nodes_[static_cast<size_t>(p)] = node.get();
     return node;
   });
+  if (batchingEnabled()) {
+    batcher_ = std::make_unique<BatchPlane>(
+        *rt_, cfg_.stack.batchWindow, cfg_.stack.batchMaxSize,
+        [this](ProcessId sender, GroupSet dest,
+               std::vector<AppMsgPtr> casts) {
+          // Carrier ids come from the same allocator as cast ids so the
+          // two can never collide; checkMsgIdCeiling budgeted for them.
+          const MsgId cid = nextMsgId_++;
+          node(sender).xcast(makeCarrier(cid, sender, dest,
+                                         std::move(casts)));
+        });
+  }
   if (cfg_.workload) addWorkload(*cfg_.workload);
 }
 
@@ -156,7 +170,11 @@ void Experiment::checkMsgIdCeiling(uint64_t pending) const {
   // Ids already reserved by installed-but-not-yet-drained workloads count
   // against the budget too: generators allocate lazily, so the ceiling
   // must be enforced against the eventual total, not the current counter.
-  const uint64_t reach = nextMsgId_ + reservedWorkloadIds_ + pending;
+  // With batching on, every cast may in the worst case flush as its own
+  // carrier (carriers draw from the same allocator), doubling the budget.
+  const uint64_t budget = reservedWorkloadIds_ + pending;
+  const uint64_t reach =
+      nextMsgId_ + (batchingEnabled() ? 2 * budget : budget);
   if (reach <= ceiling) return;
   std::ostringstream os;
   os << "Rodrigues98 runs one consensus instance per message under scope "
@@ -179,7 +197,7 @@ MsgId Experiment::castAt(SimTime when, ProcessId sender, GroupSet dest,
   // crashed sender casts nothing (as before), a crash-recovered one
   // casts again (same rule as issueWorkloadCast).
   rt_->scheduler().at(std::max(when, rt_->now()), [this, sender, msg]() {
-    if (!rt_->crashed(sender)) node(sender).xcast(msg);
+    if (!rt_->crashed(sender)) dispatchCast(sender, msg);
   });
   return id;
 }
@@ -189,8 +207,21 @@ MsgId Experiment::issueWorkloadCast(ProcessId sender, GroupSet dest,
   if (reservedWorkloadIds_ > 0) --reservedWorkloadIds_;  // reserved -> used
   const MsgId id = nextMsgId_++;
   if (!rt_->crashed(sender))
-    node(sender).xcast(makeAppMessage(id, sender, dest, std::move(body)));
+    dispatchCast(sender, makeAppMessage(id, sender, dest, std::move(body)));
   return id;
+}
+
+void Experiment::dispatchCast(ProcessId sender, const AppMsgPtr& m) {
+  if (batcher_ == nullptr) {
+    node(sender).xcast(m);  // the stack records the cast itself
+    return;
+  }
+  // Batched: the cast becomes observable NOW — the window wait is real
+  // latency and must show in the measured numbers — while the stack only
+  // sees the carrier at flush time (which skips recording, see
+  // XcastNode::recordXcast).
+  rt_->recordCast(sender, m);
+  batcher_->enqueue(sender, m);
 }
 
 workload::Generator& Experiment::addWorkload(workload::Spec spec) {

@@ -32,6 +32,9 @@ class Generator;
 namespace wanmc::metrics {
 class Recorder;
 }
+namespace wanmc::core {
+class BatchPlane;
+}
 
 namespace wanmc::core {
 
@@ -179,6 +182,14 @@ class Experiment {
   // but a crashed sender casts nothing — the semantics the legacy per-cast
   // timer guard had.
   MsgId issueWorkloadCast(ProcessId sender, GroupSet dest, std::string body);
+  // Hand a live cast to the stack — directly, or through the batching
+  // plane when StackConfig::batchWindow > 0. Called at cast-fire time with
+  // the sender alive; the unbatched path is byte-identical to pre-batching
+  // behavior.
+  void dispatchCast(ProcessId sender, const AppMsgPtr& m);
+  [[nodiscard]] bool batchingEnabled() const {
+    return cfg_.stack.batchWindow > 0;
+  }
 
   RunConfig cfg_;
   // Declared before rt_ so the recorder (a registered observer) outlives
@@ -186,6 +197,7 @@ class Experiment {
   std::unique_ptr<metrics::Recorder> recorder_;  // nullptr: metrics off
   std::unique_ptr<sim::Runtime> rt_;
   std::vector<XcastNode*> nodes_;
+  std::unique_ptr<BatchPlane> batcher_;  // nullptr: batching off
   std::vector<std::unique_ptr<workload::Generator>> workloads_;
   std::set<ProcessId> crashPlanned_;
   MsgId nextMsgId_ = 1;

@@ -32,18 +32,6 @@ void writeDeliveriesCsv(const RunResult& r, std::ostream& os) {
   }
 }
 
-void writeMessagesCsv(const RunResult& r, std::ostream& os) {
-  os << "msg,sender,destGroups,castUs,lamport,latencyDegree,wallLatencyUs\n";
-  for (const auto& c : r.trace.casts) {
-    const auto deg = r.trace.latencyDegree(c.msg);
-    const auto wall = r.trace.wallLatency(c.msg);
-    os << c.msg << ',' << c.process << ',' << destString(c.dest) << ','
-       << c.when << ',' << c.lamport << ','
-       << (deg ? std::to_string(*deg) : std::string("-")) << ','
-       << (wall ? std::to_string(*wall) : std::string("-")) << '\n';
-  }
-}
-
 namespace {
 
 // Harvested results always carry a populated summary; hand-assembled

@@ -19,14 +19,6 @@ namespace wanmc::core {
 //   process,group,msg,sender,destGroups,lamport,simTimeUs,order
 void writeDeliveriesCsv(const RunResult& r, std::ostream& os);
 
-// One row per cast message:
-//   msg,sender,destGroups,castUs,lamport,latencyDegree,wallLatencyUs
-//
-// DEPRECATED path: this walks the trace with per-message scans (it is the
-// only remaining O(casts * deliveries) exporter). Prefer writeLatencyCsv
-// for percentile aggregates; kept one PR for per-message dumps.
-void writeMessagesCsv(const RunResult& r, std::ostream& os);
-
 // A JSON object with the run's aggregates, read from r.metrics: counts,
 // traffic per layer, latency-degree histogram, wall-latency percentiles
 // (p50/p90/p99/max, log-bucket semantics — see metrics/summary.hpp),

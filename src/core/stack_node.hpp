@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/batch.hpp"
 #include "common/message.hpp"
 #include "consensus/consensus.hpp"
 #include "fd/failure_detector.hpp"
@@ -39,6 +40,15 @@ struct StackConfig {
   SimTime consensusRoundTimeout = 0;
   rmcast::RelayPolicy rmRelay = rmcast::RelayPolicy::kIntraOnly;
   rmcast::Uniformity rmUniformity = rmcast::Uniformity::kNonUniform;
+  // Batching plane (src/core/batcher.hpp): casts sharing a (sender,
+  // destination-set) key are accumulated for up to batchWindow and ordered
+  // as ONE protocol instance per batch. batchWindow == 0 disables batching
+  // entirely — the cast path is then byte-identical to the pre-batching
+  // harness (pinned by the golden fingerprints). batchMaxSize bounds a
+  // batch's cast count (reaching it flushes immediately); <= 0 leaves the
+  // size unbounded, the window alone flushes.
+  SimTime batchWindow = 0;
+  int batchMaxSize = 0;
 };
 
 class StackNode : public sim::Node {
@@ -154,17 +164,34 @@ class XcastNode : public StackNode {
   }
 
  protected:
-  // Called by subclasses at the A-XCast event (before any sends).
-  void recordXcast(const AppMsgPtr& m) { runtime().recordCast(pid(), m); }
+  // Called by subclasses at the A-XCast event (before any sends). Batch
+  // carriers are ordering-layer artifacts: their constituents were already
+  // recorded when the batching plane accepted them, and the carrier id
+  // itself must never reach the trace.
+  void recordXcast(const AppMsgPtr& m) {
+    if (!m->batch) runtime().recordCast(pid(), m);
+  }
 
-  // Called by subclasses at the A-Deliver event.
+  // Called by subclasses at the A-Deliver event. A batch carrier expands
+  // into its constituent casts in batch-internal order: the stacks decide
+  // a total order on carriers, so every addressee performs the same
+  // expansion at its carrier-delivery point and per-message prefix order
+  // is inherited from the carrier order.
   void adeliver(const AppMsgPtr& m) {
+    if (const BatchMessage* b = asBatch(m)) {
+      for (const AppMsgPtr& c : b->casts) deliverOne(c);
+      return;
+    }
+    deliverOne(m);
+  }
+
+ private:
+  void deliverOne(const AppMsgPtr& m) {
     runtime().recordDelivery(pid(), m->id);
     deliveredList_.push_back(m);
     for (const auto& cb : deliverCbs_) cb(m);
   }
 
- private:
   std::vector<DeliverCb> deliverCbs_;
   std::vector<AppMsgPtr> deliveredList_;
 };

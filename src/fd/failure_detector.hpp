@@ -44,6 +44,15 @@ namespace wanmc::fd {
 class FailureDetector {
  public:
   using SuspicionCb = std::function<void(ProcessId)>;
+  // Retraction callback. `freshIncarnation` distinguishes the two ways a
+  // suspicion ends: false — the process was REHABILITATED (healed
+  // partition, corrected premature timeout: same incarnation, it kept all
+  // its protocol state); true — the process RECOVERED (a fresh amnesiac
+  // incarnation that kept nothing). Layers that re-introduce state on
+  // retraction (e.g. RodriguesNode re-sending pending kData) must branch
+  // on it: a rehabilitated process only lacks what it never received, a
+  // fresh incarnation lacks everything.
+  using RetractionCb = std::function<void(ProcessId, bool freshIncarnation)>;
 
   virtual ~FailureDetector() = default;
 
@@ -54,7 +63,7 @@ class FailureDetector {
   // Fired when a suspicion is RETRACTED (the process recovered, a healed
   // partition let its heartbeats through again, or a premature timeout was
   // corrected). Layers that only ever read suspects() live need no hook.
-  void onRetraction(SuspicionCb cb) {
+  void onRetraction(RetractionCb cb) {
     retractions_.push_back(std::move(cb));
   }
 
@@ -74,13 +83,13 @@ class FailureDetector {
   void notify(ProcessId p) {
     for (const auto& cb : callbacks_) cb(p);
   }
-  void notifyRetract(ProcessId p) {
-    for (const auto& cb : retractions_) cb(p);
+  void notifyRetract(ProcessId p, bool freshIncarnation) {
+    for (const auto& cb : retractions_) cb(p, freshIncarnation);
   }
 
  private:
   std::vector<SuspicionCb> callbacks_;
-  std::vector<SuspicionCb> retractions_;
+  std::vector<RetractionCb> retractions_;
 };
 
 // ---------------------------------------------------------------------------
@@ -104,7 +113,9 @@ class OracleFd final : public FailureDetector {
       if (p == self_ || rt_.crashed(self_)) return;
       if (suspected_[static_cast<size_t>(p)] != 0) {
         suspected_[static_cast<size_t>(p)] = 0;
-        notifyRetract(p);
+        // The oracle only retracts on recovery, which is by definition a
+        // fresh incarnation.
+        notifyRetract(p, /*freshIncarnation=*/true);
       }
     });
     // A detector built mid-run (a recovered process's fresh stack) missed
@@ -143,18 +154,23 @@ class OracleFd final : public FailureDetector {
 
 // ---------------------------------------------------------------------------
 
-// Heartbeat packet. FD semantics depend only on layer() and the sender id,
-// so each heartbeat lane reuses ONE pooled instance across ticks (mutating
-// `seq` in place) instead of heap-allocating a payload per interval — the
-// `seq` a receiver observes is advisory, never protocol state.
+// Heartbeat packet. FD semantics depend on layer(), the sender id, and the
+// sender's INCARNATION (which lets a receiver tell a rehabilitated process
+// from a recovered one), so each heartbeat lane reuses ONE pooled instance
+// across ticks (mutating `seq` in place) instead of heap-allocating a
+// payload per interval — the `seq` a receiver observes is advisory, never
+// protocol state. `inc` is safe to pool: it is constant for the lane's
+// whole life (a recovered process builds a fresh stack with fresh lanes,
+// and the dead incarnation's pooled payloads are never mutated again).
 struct HeartbeatPayload final : Payload {
   uint64_t seq = 0;
-  explicit HeartbeatPayload(uint64_t s) : seq(s) {}
+  uint32_t inc = 0;  // sender incarnation, see Runtime::incarnation
+  HeartbeatPayload(uint64_t s, uint32_t i) : seq(s), inc(i) {}
   [[nodiscard]] Layer layer() const override {
     return Layer::kFailureDetector;
   }
   [[nodiscard]] std::string debugString() const override {
-    return "hb(" + std::to_string(seq) + ")";
+    return "hb(" + std::to_string(seq) + ",i" + std::to_string(inc) + ")";
   }
 };
 
@@ -181,7 +197,14 @@ class HeartbeatFd final : public FailureDetector {
         self_(self),
         remoteParams_(remoteParams),
         lastHeard_(static_cast<size_t>(rt.topology().numProcesses()), 0),
+        lastInc_(static_cast<size_t>(rt.topology().numProcesses()), 0),
         suspected_(static_cast<size_t>(rt.topology().numProcesses()), 0) {
+    // Baseline every peer's incarnation at build time: a detector built
+    // mid-run (a recovered process's fresh stack) cannot know what it
+    // missed — like the start-of-run heard grace, the current incarnation
+    // counts as already seen.
+    for (ProcessId p = 0; p < rt.topology().numProcesses(); ++p)
+      lastInc_[static_cast<size_t>(p)] = rt.incarnation(p);
     addLane(kNoGroup, std::move(scope), params);
   }
 
@@ -198,13 +221,21 @@ class HeartbeatFd final : public FailureDetector {
 
   void onMessage(ProcessId from, const Payload& payload) override {
     if (payload.layer() != Layer::kFailureDetector) return;
-    lastHeard_[static_cast<size_t>(from)] = rt_.now();
-    if (suspected_[static_cast<size_t>(from)] != 0) {
+    const auto& hb = static_cast<const HeartbeatPayload&>(payload);
+    const auto i = static_cast<size_t>(from);
+    // A heartbeat from an incarnation we have not seen before means the
+    // peer crashed and RECOVERED since we last heard it — even if the
+    // crash window fell entirely inside a partition and no timeout-based
+    // evidence distinguishes it from a mere rehabilitation.
+    const bool fresh = hb.inc != lastInc_[i];
+    lastInc_[i] = hb.inc;
+    lastHeard_[i] = rt_.now();
+    if (suspected_[i] != 0) {
       // Eventual accuracy: a prematurely suspected process (false timeout,
       // healed partition, recovery) is rehabilitated — and the retraction
       // is signalled, unlike the pre-v2 detector.
-      suspected_[static_cast<size_t>(from)] = 0;
-      notifyRetract(from);
+      suspected_[i] = 0;
+      notifyRetract(from, fresh);
     }
   }
 
@@ -230,7 +261,7 @@ class HeartbeatFd final : public FailureDetector {
     lane.params = params;
     for (ProcessId p : scope)
       if (p != self_) lane.peers.push_back(p);
-    lane.hb = std::make_shared<HeartbeatPayload>(0);
+    lane.hb = std::make_shared<HeartbeatPayload>(0, rt_.incarnation(self_));
     lanes_.push_back(std::move(lane));
     if (started_) startLane(lanes_.size() - 1);
   }
@@ -263,6 +294,7 @@ class HeartbeatFd final : public FailureDetector {
   bool started_ = false;
   std::vector<Lane> lanes_;
   std::vector<SimTime> lastHeard_;  // dense, indexed by pid
+  std::vector<uint32_t> lastInc_;   // last incarnation heard, per pid
   std::vector<uint8_t> suspected_;  // dense, indexed by pid
 };
 

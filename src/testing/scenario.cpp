@@ -714,6 +714,60 @@ std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
     }
   }
 
+  // Batching cells (PR 6, appended so every earlier cell keeps its name
+  // and fingerprint): the batching plane accumulates casts per (sender,
+  // destination-set) window and the stacks order ONE carrier per batch.
+  // Arrivals are dense and Zipf-skewed so multi-cast batches actually
+  // form — uniform draws spread the batch keys and degenerate to
+  // singleton batches.
+  {
+    // Batching under open-loop Poisson load, failure-free: the full
+    // trait-derived suite (incl. liveness — every window flushes).
+    Scenario s = makeBase("batch-open-poisson", LatencyPreset::kWan);
+    s.config.stack.batchWindow = 50 * kMs;
+    s.config.stack.batchMaxSize = 4;
+    s.workload->model = workload::Model::kOpenLoopPoisson;
+    s.workload->meanGap = std::max<SimTime>(opt.castInterval / 8, kMs);
+    s.workload->senderZipf = 1.5;
+    s.workload->destZipf = 1.5;
+    s.withDefaultExpectations();
+    s.expect.minDeliveries = 1;
+    out.push_back(std::move(s));
+  }
+  if (traits.toleratesCrashes) {
+    // Batching × crashes: windows open when senders die — dead-sender
+    // batches must be dropped (their casts bind no obligations), and
+    // correct senders' batches must still flush and deliver.
+    Scenario s = makeBase("batch-crash", LatencyPreset::kWan);
+    s.config.stack.batchWindow = 60 * kMs;
+    s.config.stack.batchMaxSize = 3;
+    s.workload->model = workload::Model::kOpenLoopPoisson;
+    s.workload->meanGap = std::max<SimTime>(opt.castInterval / 4, kMs);
+    s.workload->senderZipf = 1.5;
+    s.workload->destZipf = 1.5;
+    s.randomCrashes = RandomCrashes{1, 50 * kMs, kSec, 0xc4a5};
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+  {
+    // Batching × healing partition: carriers crossing the cut are lost
+    // for good like any packet, so safety-only (see partition-heal) —
+    // but a lost carrier must lose its casts ATOMICALLY (prefix order
+    // over constituents survives partial connectivity).
+    Scenario s = makeBase("batch-partition-heal", LatencyPreset::kWan);
+    s.config.stack.batchWindow = 60 * kMs;
+    s.config.stack.batchMaxSize = 4;
+    s.workload->model = workload::Model::kOpenLoopPoisson;
+    s.workload->meanGap = std::max<SimTime>(opt.castInterval / 8, kMs);
+    s.workload->senderZipf = 1.5;
+    s.workload->destZipf = 1.5;
+    s.partitions.push_back(
+        PartitionSpec{GroupSet::single(0), 150 * kMs, 450 * kMs});
+    s.runUntil = v2Horizon;
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+
   return out;
 }
 

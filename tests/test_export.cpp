@@ -40,16 +40,6 @@ TEST(ExportCsv, DeliveriesHaveHeaderAndRows) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 7);
 }
 
-TEST(ExportCsv, MessagesIncludeDegreesAndWall) {
-  auto r = sampleRun();
-  std::ostringstream os;
-  core::writeMessagesCsv(r, os);
-  const std::string out = os.str();
-  EXPECT_NE(out.find("latencyDegree"), std::string::npos);
-  EXPECT_NE(out.find("1,0,0|1,1000,"), std::string::npos);  // m1 row prefix
-  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);   // header + 2
-}
-
 TEST(ExportJson, SummaryContainsAggregates) {
   auto r = sampleRun();
   std::ostringstream os;

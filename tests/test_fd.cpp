@@ -120,7 +120,10 @@ class ScopedFdHost final : public sim::Node {
     for (GroupId g = 0; g < rt.topology().numGroups(); ++g)
       if (g != gid()) det->addRemoteGroup(g, rt.topology().members(g));
     det->onSuspicion([this](ProcessId p) { suspicions.push_back(p); });
-    det->onRetraction([this](ProcessId p) { retractions.push_back(p); });
+    det->onRetraction([this](ProcessId p, bool fresh) {
+      retractions.push_back(p);
+      retractionFresh.push_back(fresh ? 1 : 0);
+    });
   }
   void onStart() override { det->start(); }
   void onMessage(ProcessId from, const PayloadPtr& p) override {
@@ -129,6 +132,7 @@ class ScopedFdHost final : public sim::Node {
   std::unique_ptr<fd::FailureDetector> det;
   std::vector<ProcessId> suspicions;
   std::vector<ProcessId> retractions;
+  std::vector<uint8_t> retractionFresh;  // parallel to retractions
 };
 
 struct ScopedFixture {
@@ -188,10 +192,41 @@ TEST(HeartbeatFdScoped, RetractsAfterHeal) {
   f.rt.run(3 * kSec);  // heal at 1.5s: heartbeats flow again
   EXPECT_FALSE(f.hosts[0]->det->suspects(2));
   EXPECT_FALSE(f.hosts[2]->det->suspects(0));
-  // The rehabilitation was signalled, not just flag-cleared.
-  EXPECT_FALSE(f.hosts[0]->retractions.empty());
+  // The rehabilitation was signalled, not just flag-cleared — and marked
+  // as a SAME-incarnation rehabilitation: the peer kept its state.
+  ASSERT_FALSE(f.hosts[0]->retractions.empty());
   EXPECT_EQ(f.hosts[0]->retractions[0],
             f.hosts[0]->suspicions[0]);
+  EXPECT_EQ(f.hosts[0]->retractionFresh[0], 0);
+}
+
+TEST(HeartbeatFdScoped, RecoverDuringPartitionIsReportedFresh) {
+  // Regression (PR 6): p0 crashes AND recovers entirely inside a
+  // partition window, so no timeout-based evidence distinguishes it from
+  // a process that was merely unreachable. Before heartbeats carried the
+  // sender incarnation, the post-heal retraction was indistinguishable
+  // from a rehabilitation and state-re-introduction layers (Rodrigues
+  // kData re-sends) would wrongly assume p0 kept its pre-crash state.
+  ScopedFixture f(2, 2, fd::FdKind::kHeartbeat);
+  f.rt.partition(GroupSet::single(0), 100 * kMs, 2 * kSec);
+  f.rt.scheduleCrash(0, 500 * kMs);
+  f.rt.scheduleRecover(0, 1 * kSec);  // reborn while still cut off
+  f.rt.run(1800 * kMs);
+  ASSERT_TRUE(f.hosts[2]->det->suspects(0));  // unreachable during cut
+  f.rt.run(5 * kSec);  // heal: the fresh incarnation's heartbeats flow
+  EXPECT_FALSE(f.hosts[2]->det->suspects(0));
+  ASSERT_FALSE(f.hosts[2]->retractions.empty());
+  ASSERT_EQ(f.hosts[2]->retractions[0], 0);
+  EXPECT_EQ(f.hosts[2]->retractionFresh[0], 1) << "recover-during-"
+      "partition must be reported as a fresh incarnation, not a "
+      "rehabilitation";
+  // Contrast on the same run: p2's own group peer p3 never saw p0's lane
+  // drop... while p1 (same side of the cut, same group as p0) watched the
+  // crash directly: its intra lane timed out and the recovery heartbeats
+  // carry the new incarnation too.
+  ASSERT_FALSE(f.hosts[1]->retractions.empty());
+  EXPECT_EQ(f.hosts[1]->retractions[0], 0);
+  EXPECT_EQ(f.hosts[1]->retractionFresh[0], 1);
 }
 
 TEST(HeartbeatFdScoped, RetractsAfterRecovery) {
@@ -204,6 +239,9 @@ TEST(HeartbeatFdScoped, RetractsAfterRecovery) {
   f.rt.run(4 * kSec);  // recovered: fresh heartbeats rehabilitate
   EXPECT_FALSE(f.hosts[0]->det->suspects(2));
   EXPECT_FALSE(f.hosts[3]->det->suspects(2));
+  // ... and the heartbeats betray the new incarnation.
+  ASSERT_FALSE(f.hosts[0]->retractions.empty());
+  EXPECT_EQ(f.hosts[0]->retractionFresh[0], 1);
   // The fresh incarnation's own detector starts clean and suspects
   // nobody who is alive.
   for (ProcessId p = 0; p < 4; ++p)
