@@ -3,20 +3,23 @@
 // Measures the simulation core itself — scheduler throughput, multicast
 // fan-out/delivery machinery, the DetMerge00 heartbeat storm, the
 // open-loop workload storm with the streaming metrics recorder off AND on
-// (their ratio is the recorder-overhead figure), the batch-size ladder
-// (batching off / max 8 / max 64 — the batch64/batch0 goodput ratio is the
-// amortization headline), and the 100-seed sweep wall-clock (serial and
-// thread-pool; the thread-pool leg is marked skipped on a single-core
-// box) — and emits a machine-readable JSON report (BENCH_PR6.json is the
-// checked-in baseline). Allocation counts come from a global operator new
-// hook, so every figure carries an allocs-per-event column.
+// (their ratio is the recorder-overhead figure), the same storm with the
+// reliable channel substrate off AND on (the per-event throughput ratio is
+// the channel-overhead figure), the batch-size ladder (batching off /
+// max 8 / max 64 — the batch64/batch0 goodput ratio is the amortization
+// headline), and the 100-seed sweep wall-clock (serial and thread-pool;
+// the thread-pool leg is marked skipped on a single-core box) — and emits
+// a machine-readable JSON report (BENCH_PR7.json is the checked-in
+// baseline). Allocation counts come from a global operator new hook, so
+// every figure carries an allocs-per-event column.
 //
 //   bench_sim_core [--quick] [--jobs N] [--out FILE] [--check BASELINE]
 //
 // --quick   reduced iteration budget (CI smoke).
 // --check   compare events/sec fields against a baseline JSON; exit 1 if
-//           any rate regressed by more than 20%, or if the metrics
-//           recorder costs more than 5% of sim-core events/sec.
+//           any rate regressed by more than 20%, if the metrics recorder
+//           costs more than 5% of sim-core events/sec, or if the channel
+//           substrate costs more than 10% per fired event.
 //           Wall-clock fields are machine-dependent and are NOT gated.
 //
 // Intentionally free of the google-benchmark dependency: it must build and
@@ -113,11 +116,37 @@ const Sample& bestOf(const std::vector<Sample>& samples) {
   return samples[best];
 }
 
-// Best calibration-normalized rate across repeats (for the gate).
-double bestNorm(const std::vector<Sample>& samples, double events) {
+// Median calibration-normalized rate across repeats — the reported
+// figure and the baseline side of the --check gate.
+// NOT the max: "interference only slows things down" holds for wall
+// time but not for the rate/calib RATIO — a noise window that hits the
+// calibration loop while missing the measured body inflates the ratio,
+// and the max estimator then picks exactly that corrupted repeat
+// (observed: a chain-bench repeat with calib at 60% of its neighbors
+// producing a norm 50% above every clean run). The median discards a
+// mismatched pair on either side.
+double normRate(std::vector<Sample> samples, double events) {
+  std::vector<double> norms;
+  for (const Sample& s : samples)
+    if (s.calib > 0 && s.secs > 0) norms.push_back(events / s.secs / s.calib);
+  if (norms.empty()) return 0;
+  std::sort(norms.begin(), norms.end());
+  return norms[norms.size() / 2];
+}
+
+// Best normalized rate across repeats — the CURRENT side of the --check
+// gate (the baseline side is the median above). Asymmetric on purpose,
+// like the overhead floor gates: a genuine regression is systematic and
+// shows in every repeat, so the best one still catches it, while a noisy
+// window on the gating run can only make repeats slower — taking the
+// best keeps one bad window from flaking CI. (The max-inflation hazard
+// the median exists for is harmless here: it can only turn a marginal
+// fail into a pass, never corrupt the pinned baseline.)
+double peakNorm(const std::vector<Sample>& samples, double events) {
   double best = 0;
   for (const Sample& s : samples)
-    if (s.calib > 0) best = std::max(best, events / s.secs / s.calib);
+    if (s.calib > 0 && s.secs > 0)
+      best = std::max(best, events / s.secs / s.calib);
   return best;
 }
 
@@ -131,6 +160,8 @@ struct Result {
   double allocsPerEvent = -1;
   double wallMs = 0;
   double normRate = 0;       // eventsPerSec / calibration draws-per-sec
+                             // (median repeat; what the baseline pins)
+  double normBest = 0;       // best repeat; the gate's current side
   double goodputPerSec = 0;  // completed casts per wall-second (0: n/a)
   // A bench that could not run meaningfully in this environment (e.g. the
   // thread-pool sweep on a single-core box). Emitted to the JSON so the
@@ -166,7 +197,8 @@ Result benchSchedulerChain(uint64_t events, int repeats) {
   r.eventsPerSec = static_cast<double>(fired) / m.secs;
   r.allocsPerEvent = static_cast<double>(m.allocs) / static_cast<double>(fired);
   r.wallMs = m.secs * 1e3;
-  r.normRate = bestNorm(samples, static_cast<double>(fired));
+  r.normRate = normRate(samples, static_cast<double>(fired));
+  r.normBest = peakNorm(samples, static_cast<double>(fired));
   return r;
 }
 
@@ -206,7 +238,8 @@ Result benchSchedulerScatter(uint64_t events, int repeats) {
   r.eventsPerSec = static_cast<double>(fired) / m.secs;
   r.allocsPerEvent = static_cast<double>(m.allocs) / static_cast<double>(fired);
   r.wallMs = m.secs * 1e3;
-  r.normRate = bestNorm(samples, static_cast<double>(fired));
+  r.normRate = normRate(samples, static_cast<double>(fired));
+  r.normBest = peakNorm(samples, static_cast<double>(fired));
   return r;
 }
 
@@ -266,7 +299,8 @@ Result benchMulticastStorm(int rounds, int repeats) {
   r.allocsPerEvent =
       static_cast<double>(m.allocs) / static_cast<double>(deliveries);
   r.wallMs = m.secs * 1e3;
-  r.normRate = bestNorm(samples, static_cast<double>(deliveries));
+  r.normRate = normRate(samples, static_cast<double>(deliveries));
+  r.normBest = peakNorm(samples, static_cast<double>(deliveries));
   return r;
 }
 
@@ -302,7 +336,8 @@ Result benchHeartbeatStorm(int repeats) {
   r.eventsPerSec = kEventsPerRun / m.secs;
   r.allocsPerEvent = static_cast<double>(m.allocs) / kEventsPerRun;
   r.wallMs = m.secs * 1e3;
-  r.normRate = bestNorm(samples, kEventsPerRun);
+  r.normRate = normRate(samples, kEventsPerRun);
+  r.normBest = peakNorm(samples, kEventsPerRun);
   return r;
 }
 
@@ -314,7 +349,8 @@ Result benchHeartbeatStorm(int repeats) {
 // streaming recorder (PR 4) observes every cast/delivery/send — the pair
 // of runs is the recorder-overhead measurement.
 uint64_t runOpenLoopStorm(int casts, bool metrics,
-                          wanmc::SimTime batchWindow = 0, int batchMax = 0) {
+                          wanmc::SimTime batchWindow = 0, int batchMax = 0,
+                          bool channels = false) {
   wanmc::core::RunConfig cfg;
   cfg.groups = 3;
   cfg.procsPerGroup = 3;
@@ -325,6 +361,7 @@ uint64_t runOpenLoopStorm(int casts, bool metrics,
   cfg.metrics = metrics;
   cfg.stack.batchWindow = batchWindow;
   cfg.stack.batchMaxSize = batchMax;
+  cfg.stack.reliableChannels = channels;
   cfg.workload =
       wanmc::workload::Spec::openLoopPoisson(casts, 3 * wanmc::kMs, 2);
   wanmc::core::Experiment ex(cfg);
@@ -340,13 +377,13 @@ uint64_t runOpenLoopStorm(int casts, bool metrics,
 // observed ±25% apart on the quick budget, far wider than the 5% gate.
 // See benchMetricsOverheadPair: `median` is the reported recorder-overhead
 // figure, `floor` the noise-robust lower estimate the --check gate uses.
-struct MetricsOverhead {
+struct OverheadPair {
   double median = 0;
   double floor = 0;
 };
 
 std::vector<Result> benchMetricsOverheadPair(int casts, int repeats,
-                                             MetricsOverhead* overheadOut) {
+                                             OverheadPair* overheadOut) {
   std::vector<Sample> off, on;
   uint64_t fired = 0;
   for (int r = 0; r < repeats; ++r) {
@@ -381,11 +418,68 @@ std::vector<Result> benchMetricsOverheadPair(int casts, int repeats,
     r.allocsPerEvent =
         static_cast<double>(m.allocs) / static_cast<double>(fired);
     r.wallMs = m.secs * 1e3;
-    r.normRate = bestNorm(samples, static_cast<double>(fired));
+    r.normRate = normRate(samples, static_cast<double>(fired));
+    r.normBest = peakNorm(samples, static_cast<double>(fired));
     return r;
   };
   return {finish(off, "open_loop_storm", "off"),
           finish(on, "open_loop_storm_metrics", "on")};
+}
+
+// 6b. Channel-overhead pair (PR 7): the identical open-loop storm with the
+// reliable channel substrate armed (zero loss). Arming channels roughly
+// DOUBLES the fired-event count by design — every DATA copy earns a
+// cumulative ACK, plus retransmit-timer arm/cancel events — so comparing
+// wall-clock for the same cast budget would gate the intentional extra
+// traffic, not the substrate. The figure here is therefore the per-event
+// throughput ratio: events/sec with channels on vs off, interleaved
+// off/on pairs exactly like the metrics pair above (median reported,
+// cleanest-pair floor gated — the channel plane may cost at most 10% of
+// sim-core events/sec).
+Result benchChannelOverheadPair(int casts, int repeats,
+                                OverheadPair* overheadOut) {
+  std::vector<Sample> on;
+  uint64_t firedOn = 0;
+  std::vector<double> ratios;
+  for (int r = 0; r < repeats; ++r) {
+    double rate[2] = {0, 0};
+    for (bool channels : {false, true}) {
+      uint64_t fired = 0;
+      auto s = measure(
+          [&] {
+            fired = runOpenLoopStorm(casts, /*metrics=*/false,
+                                     /*batchWindow=*/0, /*batchMax=*/0,
+                                     channels);
+          },
+          1);
+      if (s.front().secs > 0)
+        rate[channels ? 1 : 0] =
+            static_cast<double>(fired) / s.front().secs;
+      if (channels) {
+        on.push_back(s.front());
+        firedOn = fired;
+      }
+    }
+    if (rate[0] > 0 && rate[1] > 0) ratios.push_back(rate[1] / rate[0]);
+  }
+  if (!ratios.empty()) {
+    std::sort(ratios.begin(), ratios.end());
+    overheadOut->median = 1.0 - ratios[ratios.size() / 2];
+    overheadOut->floor = 1.0 - ratios.back();
+  }
+  Result r;
+  r.name = "open_loop_storm_channels";
+  r.note = "A1 3x3 WAN, Poisson arrivals mean 3ms, " +
+           std::to_string(casts) +
+           " casts, reliable channels armed, zero loss";
+  const Sample& m = bestOf(on);
+  r.eventsPerSec = static_cast<double>(firedOn) / m.secs;
+  r.allocsPerEvent =
+      static_cast<double>(m.allocs) / static_cast<double>(firedOn);
+  r.wallMs = m.secs * 1e3;
+  r.normRate = normRate(on, static_cast<double>(firedOn));
+  r.normBest = peakNorm(on, static_cast<double>(firedOn));
+  return r;
 }
 
 // 7. Batch ladder (PR 6): the identical open-loop storm under the batching
@@ -418,7 +512,8 @@ std::vector<Result> benchBatchLadder(int casts, int repeats,
     r.allocsPerEvent =
         static_cast<double>(m.allocs) / static_cast<double>(fired);
     r.wallMs = m.secs * 1e3;
-    r.normRate = bestNorm(samples, static_cast<double>(fired));
+    r.normRate = normRate(samples, static_cast<double>(fired));
+    r.normBest = peakNorm(samples, static_cast<double>(fired));
     r.goodputPerSec = static_cast<double>(casts) / m.secs;
     if (size == 0) unbatched = r.goodputPerSec;
     if (size == 64 && unbatched > 0)
@@ -469,7 +564,8 @@ std::vector<Result> benchDetMergeSweep(int seeds, int jobs, int repeats) {
 
 void writeJson(const std::string& path, const std::vector<Result>& results,
                bool quick, int jobs, unsigned hardwareConcurrency,
-               double metricsOverhead, double batchGoodputX64) {
+               double metricsOverhead, double batchGoodputX64,
+               double channelOverhead) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"wanmc-bench-v1\",\n";
@@ -478,6 +574,7 @@ void writeJson(const std::string& path, const std::vector<Result>& results,
   os << "  \"hardware_concurrency\": " << hardwareConcurrency << ",\n";
   os << "  \"metrics_overhead\": " << metricsOverhead << ",\n";
   os << "  \"batch_goodput_x64\": " << batchGoodputX64 << ",\n";
+  os << "  \"channel_overhead\": " << channelOverhead << ",\n";
   os << "  \"benches\": {\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -543,11 +640,13 @@ int checkAgainstBaseline(const std::string& baseline,
     if (r.eventsPerSec <= 0) continue;  // wall-clock-only bench: not gated
     // Gate on the calibration-normalized rate when the baseline has one
     // (machine-independent); fall back to the raw rate for old baselines.
+    // The current side uses the BEST repeat (see peakNorm) against the
+    // baseline's pinned median.
     double base = 0;
     double mine = 0;
     const char* what = "norm";
-    if (r.normRate > 0 && extractField(baseline, r.name, "norm_rate", &base)) {
-      mine = r.normRate;
+    if (r.normBest > 0 && extractField(baseline, r.name, "norm_rate", &base)) {
+      mine = r.normBest;
     } else if (extractField(baseline, r.name, "events_per_sec", &base)) {
       mine = r.eventsPerSec;
       what = "raw";
@@ -624,11 +723,15 @@ int main(int argc, char** argv) {
   // The overhead pair always gets >= 5 interleaved repeats: its ratio
   // feeds a 5% gate, much tighter than the 20% rate gate, so it needs
   // more chances at a clean window even on the quick budget.
-  MetricsOverhead metricsOverhead;
+  OverheadPair metricsOverhead;
   for (auto& r : benchMetricsOverheadPair(quick ? 400 : 2000,
                                           std::max(repeats, 5),
                                           &metricsOverhead))
     results.push_back(std::move(r));
+  // Same interleaving discipline for the channel substrate (10% gate).
+  OverheadPair channelOverhead;
+  results.push_back(benchChannelOverheadPair(
+      quick ? 400 : 2000, std::max(repeats, 5), &channelOverhead));
   double batchGoodputX64 = 0;
   for (auto& r : benchBatchLadder(quick ? 400 : 2000, repeats,
                                   &batchGoodputX64))
@@ -648,9 +751,19 @@ int main(int argc, char** argv) {
                kMaxMetricsOverhead * 100);
   std::fprintf(stderr, "batch_goodput_x64: %.1fx unbatched goodput\n",
                batchGoodputX64);
+  // Channel-overhead figure (PR 7): per-event throughput with the reliable
+  // channel substrate armed vs off, on interleaved pairs. Gated at 10% —
+  // looser than the recorder's 5% because the channel plane does real
+  // per-event work (holdback, ACK bookkeeping) on the hot path.
+  constexpr double kMaxChannelOverhead = 0.10;
+  std::fprintf(stderr,
+               "channel_overhead: %.2f%% of events/sec median, %.2f%% "
+               "cleanest pair (gate %g%% on the latter)\n",
+               channelOverhead.median * 100, channelOverhead.floor * 100,
+               kMaxChannelOverhead * 100);
 
   writeJson(out, results, quick, jobs, std::thread::hardware_concurrency(),
-            metricsOverhead.median, batchGoodputX64);
+            metricsOverhead.median, batchGoodputX64, channelOverhead.median);
   if (!baseline.empty()) {
     int rc = checkAgainstBaseline(baselineText, results);
     if (metricsOverhead.floor > kMaxMetricsOverhead) {
@@ -658,6 +771,13 @@ int main(int argc, char** argv) {
                    "check metrics_overhead : cleanest-pair overhead %.2f%% "
                    "exceeds the %g%% budget REGRESSED\n",
                    metricsOverhead.floor * 100, kMaxMetricsOverhead * 100);
+      rc = 1;
+    }
+    if (channelOverhead.floor > kMaxChannelOverhead) {
+      std::fprintf(stderr,
+                   "check channel_overhead : cleanest-pair overhead %.2f%% "
+                   "exceeds the %g%% budget REGRESSED\n",
+                   channelOverhead.floor * 100, kMaxChannelOverhead * 100);
       rc = 1;
     }
     return rc;

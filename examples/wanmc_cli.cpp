@@ -24,6 +24,12 @@
 //                batching plane (StackConfig::batchWindow/batchMaxSize):
 //                coalesce same-(sender,dest) casts for up to <ms>, flush
 //                early at <n> casts. 0 0 (the default) = batching off
+//   --loss <p>   iid per-wire-copy drop probability in [0,1), deterministic
+//                from the run seed (RunConfig::lossRate). Liveness under
+//                loss needs --reliable-channels.
+//   --reliable-channels
+//                arm the retransmitting channel substrate (src/channel/):
+//                per-link sequencing, ACK/NACK, timer-driven retransmit
 //   --crash <pid>:<ms>        schedule a crash (repeatable)
 //   --recover <pid>:<ms>      schedule a recovery (fresh incarnation,
 //                             reset state; no-op if alive; repeatable)
@@ -272,6 +278,10 @@ int sweepMain(int argc, char** argv) {
       opt.base.stack.batchWindow = std::atoi(next().c_str()) * kMs;
     } else if (arg == "--batch-max") {
       opt.base.stack.batchMaxSize = std::atoi(next().c_str());
+    } else if (arg == "--loss") {
+      opt.base.lossRate = std::atof(next().c_str());
+    } else if (arg == "--reliable-channels") {
+      opt.base.stack.reliableChannels = true;
     } else if (arg == "--csv-out") {
       csvOut = next();
     } else if (arg == "--check-baseline") {
@@ -284,7 +294,8 @@ int sweepMain(int argc, char** argv) {
           "[--points K] [--casts M] [--cap C] [--seeds S] [--jobs J] "
           "[--dest-groups G] [--interval-max-ms A] [--interval-min-ms B] "
           "[--seed S] [--inter-ms L] [--intra-us U] [--batch-window MS] "
-          "[--batch-max N] [--csv-out FILE] "
+          "[--batch-max N] [--loss P] [--reliable-channels] "
+          "[--csv-out FILE] "
           "[--check-baseline FILE [--tolerance F]]\n");
       return 0;
     } else {
@@ -303,6 +314,11 @@ int sweepMain(int argc, char** argv) {
   }
   if (tolerance <= 0) {
     std::fprintf(stderr, "sweep: --tolerance must be positive\n");
+    return 2;
+  }
+  if (opt.base.lossRate < 0 || opt.base.lossRate >= 1) {
+    std::fprintf(stderr, "sweep: --loss must be in [0,1), got %g\n",
+                 opt.base.lossRate);
     return 2;
   }
   opt.intervals = metrics::defaultLoadLadder(points, slowest, fastest);
@@ -380,6 +396,10 @@ int main(int argc, char** argv) {
       cfg.stack.batchWindow = std::atoi(next().c_str()) * kMs;
     } else if (arg == "--batch-max") {
       cfg.stack.batchMaxSize = std::atoi(next().c_str());
+    } else if (arg == "--loss") {
+      cfg.lossRate = std::atof(next().c_str());
+    } else if (arg == "--reliable-channels") {
+      cfg.stack.reliableChannels = true;
     } else if (arg == "--format") {
       format = next();
     } else if (arg == "--json-out") {
@@ -401,7 +421,8 @@ int main(int argc, char** argv) {
                   "[--burst-on-ms A] [--burst-off-ms B] [--burst-gap-ms G] "
                   "[--workload-spec \"MODEL k=v ...\"] "
                   "[--seed S] [--inter-ms L] [--intra-us U] "
-                  "[--batch-window MS] [--batch-max N] [--crash pid:ms] "
+                  "[--batch-window MS] [--batch-max N] [--loss P] "
+                  "[--reliable-channels] [--crash pid:ms] "
                   "[--recover pid:ms] [--partition g,g:fromMs:untilMs|never] "
                   "[--format summary|deliveries|latency] "
                   "[--json-out FILE] [--csv-out FILE]\n"
@@ -417,6 +438,11 @@ int main(int argc, char** argv) {
   // StackConfig::consensusRoundTimeout) — same default ScenarioRunner uses.
   if (!recoveries.empty() && cfg.stack.consensusRoundTimeout == 0)
     cfg.stack.consensusRoundTimeout = 500 * kMs;
+
+  if (cfg.lossRate < 0 || cfg.lossRate >= 1) {
+    std::fprintf(stderr, "--loss must be in [0,1), got %g\n", cfg.lossRate);
+    return 2;
+  }
 
   core::Experiment ex(cfg);
   try {
@@ -436,11 +462,22 @@ int main(int argc, char** argv) {
   auto r = ex.run(horizon);
 
   // The safety suite runs ONCE: its verdict feeds the summary JSON (both
-  // copies) and the exit code. A partition legitimately loses messages —
-  // delivery obligations are void (same rule the scenario harness applies)
-  // — so those runs check safety only: integrity + uniform prefix order.
+  // copies) and the exit code. A partition or message loss legitimately
+  // loses messages — delivery obligations are void (same rule the
+  // scenario harness applies) — so those runs check safety only:
+  // integrity + uniform prefix order. Reliable channels restore the
+  // obligation: loss and healed partitions are masked by retransmission,
+  // and only a never-healed cut still voids delivery.
+  bool deliveryVoid;
+  if (cfg.stack.reliableChannels) {
+    deliveryVoid = false;
+    for (const auto& p : partitions)
+      if (p.until == kTimeNever) deliveryVoid = true;
+  } else {
+    deliveryVoid = !partitions.empty() || cfg.lossRate > 0;
+  }
   verify::Violations violations;
-  if (partitions.empty()) {
+  if (!deliveryVoid) {
     violations = r.checkAtomicSuite();
   } else {
     const auto ctx = r.checkContext();

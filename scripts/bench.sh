@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Simulator hot-path benchmark runner.
 #
-#   scripts/bench.sh                     full run, writes BENCH_PR6.json
+#   scripts/bench.sh                     full run, writes BENCH_PR7.json
 #   scripts/bench.sh --quick             reduced budget (CI smoke)
 #   scripts/bench.sh --check FILE        also gate events/sec against FILE
-#                                        (exit 1 on >20% regression, or on
-#                                        metrics-recorder overhead >5%)
+#                                        (exit 1 on >20% regression, on
+#                                        metrics-recorder overhead >5%, or
+#                                        on channel-substrate overhead >10%)
 #   OUT=path scripts/bench.sh            write the report elsewhere
 #
 # All flags are passed through to bench_sim_core (--jobs N, etc.).
@@ -22,7 +23,7 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ -z "${OUT:-}" ]]; then
   case " $* " in
     *" --check "*) OUT="$BUILD_DIR/bench_report.json" ;;
-    *)             OUT="BENCH_PR6.json" ;;
+    *)             OUT="BENCH_PR7.json" ;;
   esac
 fi
 

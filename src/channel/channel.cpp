@@ -1,0 +1,259 @@
+#include "channel/channel.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+namespace wanmc::channel {
+
+std::string DataPacket::debugString() const {
+  std::ostringstream os;
+  os << "chan-data{seq=" << seq << " inc=" << senderInc << " ep=" << epoch
+     << " " << inner->debugString() << "}";
+  return os.str();
+}
+
+std::string AckPacket::debugString() const {
+  std::ostringstream os;
+  os << "chan-ack{cum=" << cumAck;
+  if (nackTo > nackFrom) os << " nack=[" << nackFrom << "," << nackTo << ")";
+  os << " inc=" << receiverInc << " ep=" << epoch << "}";
+  return os.str();
+}
+
+Plane::Plane(sim::Runtime& rt, Config cfg)
+    : rt_(rt), cfg_(cfg), n_(rt.topology().numProcesses()) {
+  const auto& lm = rt_.latencyModel();
+  // One worst-case DATA + ACK round trip over the slowest link class, plus
+  // slack for the receiver's turnaround. Deterministic in the model.
+  const SimTime oneWay = std::max(lm.interMax, lm.intraMax);
+  rto_ = cfg_.rto > 0 ? cfg_.rto : 2 * oneWay + 2 * lm.intraMax + 1 * kMs;
+  out_.resize(static_cast<size_t>(n_) * static_cast<size_t>(n_));
+  in_.resize(static_cast<size_t>(n_) * static_cast<size_t>(n_));
+}
+
+void Plane::onSend(ProcessId from, const std::vector<ProcessId>& tos,
+                   const PayloadPtr& payload, uint64_t sendTs) {
+  const Layer layer = payload->layer();
+  for (ProcessId to : tos) {
+    OutLink& ol = out(from, to);
+    const uint64_t seq = ol.nextSeq++;
+    ol.window.push_back(Unacked{payload, layer, sendTs});
+    ++stats_.dataSent;
+    transmit(from, to, ol, seq, ol.window.back());
+    armTimer(from, to, ol);
+  }
+}
+
+void Plane::transmit(ProcessId from, ProcessId to, const OutLink& ol,
+                     uint64_t seq, const Unacked& u) {
+  auto pkt = std::make_shared<DataPacket>();
+  pkt->inner = u.inner;
+  pkt->innerLayer = u.innerLayer;
+  pkt->seq = seq;
+  pkt->sendTs = u.sendTs;
+  pkt->senderInc = rt_.incarnation(from);
+  pkt->epoch = ol.epoch;
+  rt_.channelSend(from, to, std::move(pkt), u.innerLayer);
+}
+
+void Plane::armTimer(ProcessId from, ProcessId to, OutLink& ol) {
+  if (ol.timerArmed) return;
+  ol.timerArmed = true;
+  const uint64_t gen = ++ol.timerGen;
+  const SimTime delay =
+      rto_ << std::min(ol.backoff, cfg_.maxBackoffExp);
+  // Runtime::timer is incarnation-guarded: if `from` crashes (or crashes
+  // and recovers) before this fires, the dead incarnation's timer is
+  // suppressed; the generation check voids timers the plane disarmed.
+  rt_.timer(from, delay, [this, from, to, gen]() { onRto(from, to, gen); });
+}
+
+void Plane::onRto(ProcessId from, ProcessId to, uint64_t gen) {
+  OutLink& ol = out(from, to);
+  if (!ol.timerArmed || gen != ol.timerGen) return;
+  ol.timerArmed = false;
+  if (ol.window.empty()) return;
+  // Go-back-N: re-offer the whole unacked window. Windows are small (one
+  // fan-out's worth per destination at steady state), and the cumulative
+  // ACK immediately re-trims whatever did get through.
+  uint64_t seq = ol.base;
+  for (const Unacked& u : ol.window) {
+    ++stats_.retransmits;
+    transmit(from, to, ol, seq++, u);
+  }
+  ol.backoff = std::min(ol.backoff + 1, cfg_.maxBackoffExp);
+  armTimer(from, to, ol);
+}
+
+void Plane::rekey(ProcessId from, ProcessId to, OutLink& ol) {
+  // The peer reincarnated: everything it ever acked died with it. Open a
+  // fresh epoch whose sequence space starts at 0 and re-offer the unacked
+  // backlog as its prefix; in-flight packets and ACKs of older epochs are
+  // dropped as stale on arrival.
+  ++ol.epoch;
+  ol.base = 0;
+  ol.nextSeq = ol.window.size();
+  ol.backoff = 0;
+  ol.timerArmed = false;
+  ++ol.timerGen;
+  uint64_t seq = 0;
+  for (const Unacked& u : ol.window) {
+    ++stats_.retransmits;
+    transmit(from, to, ol, seq++, u);
+  }
+  if (!ol.window.empty()) armTimer(from, to, ol);
+}
+
+void Plane::onWireArrive(ProcessId from, ProcessId to,
+                         const PayloadPtr& payload) {
+  if (const auto* d = dynamic_cast<const DataPacket*>(payload.get())) {
+    handleData(from, to, *d);
+  } else if (const auto* a = dynamic_cast<const AckPacket*>(payload.get())) {
+    handleAck(from, to, *a);
+  }
+}
+
+void Plane::handleData(ProcessId sender, ProcessId self, const DataPacket& d) {
+  // Stale-incarnation copies (a dead incarnation's stragglers still in
+  // flight) are dropped outright: the (sender incarnation, seq) key is what
+  // makes duplicate suppression survive recovery.
+  if (d.senderInc != rt_.incarnation(sender)) {
+    ++stats_.staleDropped;
+    return;
+  }
+  InLink& il = in(self, sender);
+  if (!il.known || d.senderInc != il.peerInc) {
+    // First contact, or the sender reincarnated: adopt its fresh space.
+    il = InLink{};
+    il.known = true;
+    il.peerInc = d.senderInc;
+    il.epoch = d.epoch;
+  } else if (d.epoch != il.epoch) {
+    if (d.epoch > il.epoch) {
+      // The sender re-keyed (it saw OUR fresh incarnation): the new epoch's
+      // prefix supersedes anything held from the old one.
+      il.holdback.clear();
+      il.nextExpected = 0;
+      il.nackCeiling = 0;
+      il.epoch = d.epoch;
+    } else {
+      ++stats_.staleDropped;
+      sendAck(self, sender, il, 0, 0);  // re-sync the sender to our epoch
+      return;
+    }
+  }
+
+  if (d.seq < il.nextExpected) {
+    // Already delivered (the ACK must have been lost): suppress, re-ack.
+    ++stats_.duplicatesDropped;
+    sendAck(self, sender, il, 0, 0);
+    return;
+  }
+  if (d.seq == il.nextExpected) {
+    rt_.deliverFromChannel(sender, self, d.inner, d.sendTs);
+    ++stats_.delivered;
+    ++il.nextExpected;
+    for (auto it = il.holdback.begin();
+         it != il.holdback.end() && it->first == il.nextExpected;
+         it = il.holdback.erase(it)) {
+      rt_.deliverFromChannel(sender, self, it->second.inner,
+                             it->second.sendTs);
+      ++stats_.delivered;
+      ++il.nextExpected;
+    }
+    if (il.nackCeiling < il.nextExpected) il.nackCeiling = il.nextExpected;
+    sendAck(self, sender, il, 0, 0);
+    return;
+  }
+
+  // Gap: hold if there is room (drop-newest past the cap — the sender's
+  // retransmit timer re-offers it once the window drains).
+  if (il.holdback.count(d.seq) != 0) {
+    ++stats_.duplicatesDropped;
+    sendAck(self, sender, il, 0, 0);
+    return;
+  }
+  if (il.holdback.size() >= cfg_.holdbackCap) {
+    ++stats_.holdbackOverflow;
+    sendAck(self, sender, il, 0, 0);
+    return;
+  }
+  il.holdback.emplace(d.seq, Held{d.inner, d.sendTs});
+  uint64_t nackFrom = 0;
+  uint64_t nackTo = 0;
+  if (d.seq > il.nackCeiling) {
+    // This arrival WIDENED the gap: request the missing prefix once.
+    nackFrom = il.nextExpected;
+    nackTo = d.seq;
+    il.nackCeiling = d.seq;
+    ++stats_.nacksSent;
+  }
+  sendAck(self, sender, il, nackFrom, nackTo);
+}
+
+void Plane::sendAck(ProcessId self, ProcessId sender, const InLink& il,
+                    uint64_t nackFrom, uint64_t nackTo) {
+  auto ack = std::make_shared<AckPacket>();
+  ack->cumAck = il.nextExpected;
+  ack->nackFrom = nackFrom;
+  ack->nackTo = nackTo;
+  ack->receiverInc = rt_.incarnation(self);
+  ack->epoch = il.epoch;
+  ++stats_.acksSent;
+  rt_.channelSend(self, sender, std::move(ack), Layer::kChannel);
+}
+
+void Plane::handleAck(ProcessId acker, ProcessId self, const AckPacket& a) {
+  if (a.receiverInc != rt_.incarnation(acker)) {
+    ++stats_.staleDropped;  // an ACK from the acker's dead incarnation
+    return;
+  }
+  OutLink& ol = out(self, acker);
+  if (ol.peerKnown && a.receiverInc != ol.peerInc) {
+    // The receiver reincarnated since we last heard from it: re-key the
+    // link. This ACK's cumAck/NACK describe a dead sequence space.
+    ol.peerInc = a.receiverInc;
+    rekey(self, acker, ol);
+    return;
+  }
+  ol.peerInc = a.receiverInc;
+  ol.peerKnown = true;
+  if (a.epoch != ol.epoch) {
+    ++stats_.staleDropped;  // pre-rekey ACK still in flight
+    return;
+  }
+  const uint64_t oldBase = ol.base;
+  while (ol.base < a.cumAck && !ol.window.empty()) {
+    ol.window.pop_front();
+    ++ol.base;
+  }
+  if (ol.window.empty()) {
+    ol.timerArmed = false;
+    ++ol.timerGen;
+    ol.backoff = 0;
+  } else if (ol.base != oldBase) {
+    ol.backoff = 0;  // forward progress: the link is alive again
+  }
+  if (a.nackTo > a.nackFrom) {
+    const uint64_t lo = std::max(a.nackFrom, ol.base);
+    const uint64_t hi = std::min(a.nackTo, ol.nextSeq);
+    for (uint64_t s = lo; s < hi; ++s) {
+      ++stats_.retransmits;
+      transmit(self, acker, ol, s, ol.window[s - ol.base]);
+    }
+  }
+}
+
+void Plane::onReset(ProcessId pid) {
+  // `pid` recovered as a fresh incarnation: both endpoints of every link it
+  // touches forget the dead incarnation's state. Its fresh sends open new
+  // sequence spaces (peers adopt them on the incarnation change); peers'
+  // links TO it re-key lazily when its fresh ACKs reveal the incarnation.
+  for (ProcessId peer = 0; peer < n_; ++peer) {
+    out(pid, peer) = OutLink{};
+    in(pid, peer) = InLink{};
+  }
+}
+
+}  // namespace wanmc::channel

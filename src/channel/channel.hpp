@@ -1,0 +1,171 @@
+// Reliable retransmitting channel substrate (the ROADMAP's
+// "liveness through partitions and loss" item).
+//
+// The paper's algorithms are proved over quasi-reliable FIFO channels, but
+// the fault plane (PR 5) makes partitions and drop filters lose protocol
+// messages for good — which is why partition-heal and lossy matrix cells
+// were checked for safety only. This plane restores the channel contract
+// BELOW the stacks, the way a deployment would (Dolev et al.'s stabilizing
+// data-link over unreliable non-FIFO channels is the theory anchor):
+//
+//   * per directed link, DATA packets carry a sequence number, the sender's
+//     incarnation, a link epoch, and the ORIGINAL modified-Lamport stamp;
+//   * the receiver delivers strictly in order, holding out-of-order copies
+//     in a BOUNDED holdback buffer (drop-newest past the cap — the sender's
+//     retransmit timer re-offers them later);
+//   * every DATA arrival is answered with a cumulative ACK; an arrival that
+//     OPENS a gap additionally carries a NACK range for fast resend,
+//     suppressed while the same gap is already outstanding;
+//   * unacked packets are re-sent on a deterministic capped-exponential
+//     retransmit timer, incarnation-guarded through Runtime::timer so a
+//     dead sender's timers die with it;
+//   * duplicates are suppressed by (sender incarnation, seq); packets from
+//     a process's DEAD incarnation are stale and dropped outright;
+//   * recovery re-keys the link: a fresh sender incarnation opens a new
+//     sequence space, and a sender that learns its peer reincarnated bumps
+//     the link epoch and re-offers the whole unacked backlog as the new
+//     epoch's prefix (the amnesiac receiver lost everything it had acked).
+//
+// Cost-model fidelity: the plane never touches the Lamport clocks. The
+// original multicast ticks the sender's clock once per fan-out; every
+// (re)transmission carries that stamp, and the receive-side jump happens at
+// the final in-order handoff (Runtime::deliverFromChannel). DATA is
+// accounted under its inner layer (so retransmissions honestly inflate the
+// algorithm's message counts); ACK/NACK control traffic is accounted under
+// Layer::kChannel, which — like the FD substrate — is excluded from the
+// genuineness/quiescence bookkeeping.
+//
+// Everything is deterministic: no RNG, timers through the scheduler, dense
+// link tables iterated in pid order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/message.hpp"
+#include "common/time.hpp"
+#include "common/trace.hpp"
+#include "sim/runtime.hpp"
+
+namespace wanmc::channel {
+
+// Tuning knobs, all deterministic. The defaults are derived from the
+// runtime's latency model at Plane construction where marked.
+struct Config {
+  // Retransmit timeout for the oldest unacked packet. 0 = derive from the
+  // latency model: one worst-case DATA + ACK round trip plus slack.
+  SimTime rto = 0;
+  // Consecutive barren timeouts double the timer up to rto << maxBackoffExp
+  // (so a permanently dead peer costs a bounded, geometric trickle).
+  int maxBackoffExp = 4;
+  // Out-of-order copies held per incoming link; beyond it, drop-newest.
+  size_t holdbackCap = 1024;
+};
+
+// DATA: one protocol packet riding the channel. Reports the INNER layer so
+// traffic accounting and drop filters see the algorithm's packet, not the
+// envelope.
+struct DataPacket final : Payload {
+  PayloadPtr inner;
+  Layer innerLayer = Layer::kProtocol;
+  uint64_t seq = 0;
+  uint64_t sendTs = 0;  // original multicast stamp (modified Lamport)
+  uint32_t senderInc = 0;
+  uint32_t epoch = 0;
+
+  [[nodiscard]] Layer layer() const override { return innerLayer; }
+  [[nodiscard]] std::string debugString() const override;
+};
+
+// ACK/NACK control packet: cumulative ack plus an optional gap request
+// [nackFrom, nackTo) (empty when nackFrom == nackTo).
+struct AckPacket final : Payload {
+  uint64_t cumAck = 0;  // every seq < cumAck was delivered in order
+  uint64_t nackFrom = 0;
+  uint64_t nackTo = 0;
+  uint32_t receiverInc = 0;
+  uint32_t epoch = 0;
+
+  [[nodiscard]] Layer layer() const override { return Layer::kChannel; }
+  [[nodiscard]] std::string debugString() const override;
+};
+
+class Plane final : public sim::ChannelHook {
+ public:
+  // Does NOT install itself: the owner calls rt.setChannelHook(&plane).
+  Plane(sim::Runtime& rt, Config cfg);
+
+  void onSend(ProcessId from, const std::vector<ProcessId>& tos,
+              const PayloadPtr& payload, uint64_t sendTs) override;
+  void onWireArrive(ProcessId from, ProcessId to,
+                    const PayloadPtr& payload) override;
+  void onReset(ProcessId pid) override;
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] SimTime rto() const { return rto_; }
+
+ private:
+  struct Unacked {
+    PayloadPtr inner;
+    Layer innerLayer = Layer::kProtocol;
+    uint64_t sendTs = 0;
+  };
+  // Sender endpoint of the directed link local -> peer.
+  struct OutLink {
+    std::deque<Unacked> window;  // unacked, seqs [base, base+window.size())
+    uint64_t base = 0;
+    uint64_t nextSeq = 0;
+    uint64_t timerGen = 0;  // bumping it voids the armed timer
+    uint32_t epoch = 0;
+    uint32_t peerInc = 0;   // receiver incarnation last seen in an ACK
+    bool peerKnown = false;
+    bool timerArmed = false;
+    int backoff = 0;
+  };
+  struct Held {
+    PayloadPtr inner;
+    uint64_t sendTs = 0;
+  };
+  // Receiver endpoint of the directed link peer -> local.
+  struct InLink {
+    std::map<uint64_t, Held> holdback;
+    uint64_t nextExpected = 0;
+    uint64_t nackCeiling = 0;  // highest seq a NACK was already issued for
+    uint32_t peerInc = 0;      // sender incarnation this space belongs to
+    uint32_t epoch = 0;
+    bool known = false;  // adopted a (peerInc, epoch) space yet?
+  };
+
+  OutLink& out(ProcessId local, ProcessId peer) {
+    return out_[static_cast<size_t>(local) * static_cast<size_t>(n_) +
+                static_cast<size_t>(peer)];
+  }
+  InLink& in(ProcessId local, ProcessId peer) {
+    return in_[static_cast<size_t>(local) * static_cast<size_t>(n_) +
+               static_cast<size_t>(peer)];
+  }
+
+  void transmit(ProcessId from, ProcessId to, const OutLink& ol, uint64_t seq,
+                const Unacked& u);
+  void armTimer(ProcessId from, ProcessId to, OutLink& ol);
+  void onRto(ProcessId from, ProcessId to, uint64_t gen);
+  void rekey(ProcessId from, ProcessId to, OutLink& ol);
+  void handleData(ProcessId sender, ProcessId self, const DataPacket& d);
+  void handleAck(ProcessId acker, ProcessId self, const AckPacket& a);
+  void sendAck(ProcessId self, ProcessId sender, const InLink& il,
+               uint64_t nackFrom, uint64_t nackTo);
+
+  sim::Runtime& rt_;
+  Config cfg_;
+  SimTime rto_ = 0;
+  int n_ = 0;
+  std::vector<OutLink> out_;  // n*n, indexed local*n + peer
+  std::vector<InLink> in_;
+  ChannelStats stats_;
+};
+
+}  // namespace wanmc::channel

@@ -26,7 +26,11 @@ enum class Layer : uint8_t {
   kReliableMulticast,
   kProtocol,   // the atomic multicast / broadcast algorithm itself
   kApp,
+  kChannel,    // reliable-channel substrate control traffic (ACK/NACK);
+               // retransmitted DATA is accounted under its inner layer
 };
+
+inline constexpr int kNumLayers = 6;
 
 [[nodiscard]] constexpr const char* layerName(Layer l) {
   switch (l) {
@@ -35,6 +39,7 @@ enum class Layer : uint8_t {
     case Layer::kReliableMulticast: return "rmcast";
     case Layer::kProtocol: return "protocol";
     case Layer::kApp: return "app";
+    case Layer::kChannel: return "channel";
   }
   return "?";
 }

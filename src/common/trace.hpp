@@ -81,6 +81,8 @@ struct RunTrace {
   std::vector<PartitionEvent> partitions;
   // Wire copies discarded because their link was cut at send time.
   uint64_t linkDrops = 0;
+  // Wire copies discarded by the iid LossModel (sim::Runtime::setLossRate).
+  uint64_t lossDrops = 0;
   std::map<MsgId, GroupSet> destOf;
   std::map<MsgId, ProcessId> senderOf;
 
@@ -162,6 +164,7 @@ struct FaultStats {
   uint64_t partitionsCut = 0;
   uint64_t partitionsHealed = 0;
   uint64_t linkDrops = 0;  // copies discarded on a cut link
+  uint64_t lossDrops = 0;  // copies discarded by the iid LossModel
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };
 
@@ -172,8 +175,25 @@ struct FaultStats {
   for (const auto& p : t.partitions) (p.cut ? out.partitionsCut
                                             : out.partitionsHealed)++;
   out.linkDrops = t.linkDrops;
+  out.lossDrops = t.lossDrops;
   return out;
 }
+
+// Reliable-channel substrate counters (src/channel/). Maintained by the
+// channel plane itself, not derivable from the RunTrace: like lastAlgoSend,
+// they are injected identically into both Summary constructions at harvest.
+// All-zero when channels are off.
+struct ChannelStats {
+  uint64_t dataSent = 0;           // first transmissions of protocol packets
+  uint64_t retransmits = 0;        // timer- or NACK-triggered resends
+  uint64_t acksSent = 0;           // cumulative ACK control packets
+  uint64_t nacksSent = 0;          // ACKs that carried a gap request
+  uint64_t duplicatesDropped = 0;  // (sender incarnation, seq) already seen
+  uint64_t staleDropped = 0;       // wrong incarnation/epoch packets
+  uint64_t holdbackOverflow = 0;   // out-of-order copies past the buffer cap
+  uint64_t delivered = 0;          // in-order handoffs to the stacks
+  friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
+};
 
 // Per-layer message counters, split intra/inter group.
 struct TrafficStats {
@@ -183,10 +203,10 @@ struct TrafficStats {
     [[nodiscard]] uint64_t total() const { return intra + inter; }
     friend bool operator==(const Counter&, const Counter&) = default;
   };
-  Counter perLayer[5];
+  Counter perLayer[kNumLayers];
 
   friend bool operator==(const TrafficStats& a, const TrafficStats& b) {
-    for (int l = 0; l < 5; ++l)
+    for (int l = 0; l < kNumLayers; ++l)
       if (!(a.perLayer[l] == b.perLayer[l])) return false;
     return true;
   }
@@ -207,11 +227,14 @@ struct TrafficStats {
     return s;
   }
   // Inter-group messages excluding the failure-detector substrate, which the
-  // paper's accounting treats as an oracle (DESIGN.md §2).
+  // paper's accounting treats as an oracle (DESIGN.md §2), and the reliable-
+  // channel control traffic, which the paper assumes away entirely
+  // (retransmitted DATA copies still count under their inner layer).
   [[nodiscard]] uint64_t interAlgorithmic() const {
     uint64_t s = 0;
-    for (int l = 0; l < 5; ++l)
-      if (static_cast<Layer>(l) != Layer::kFailureDetector)
+    for (int l = 0; l < kNumLayers; ++l)
+      if (static_cast<Layer>(l) != Layer::kFailureDetector &&
+          static_cast<Layer>(l) != Layer::kChannel)
         s += perLayer[l].inter;
     return s;
   }

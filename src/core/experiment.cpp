@@ -112,14 +112,20 @@ Experiment::Experiment(RunConfig cfg) : cfg_(cfg) {
     nodes_[static_cast<size_t>(p)] = node.get();
     return node;
   });
+  if (cfg_.stack.reliableChannels) {
+    channel_ = std::make_unique<channel::Plane>(*rt_, cfg_.stack.channel);
+    rt_->setChannelHook(channel_.get());
+  }
+  if (cfg_.lossRate != 0) rt_->setLossRate(cfg_.lossRate);  // validates
   if (batchingEnabled()) {
     batcher_ = std::make_unique<BatchPlane>(
         *rt_, cfg_.stack.batchWindow, cfg_.stack.batchMaxSize,
         [this](ProcessId sender, GroupSet dest,
                std::vector<AppMsgPtr> casts) {
           // Carrier ids come from the same allocator as cast ids so the
-          // two can never collide; checkMsgIdCeiling budgeted for them.
-          const MsgId cid = nextMsgId_++;
+          // two can never collide; checkMsgIdCeiling budgeted for them
+          // and allocCarrierId enforces the ceiling at mint time.
+          const MsgId cid = allocCarrierId();
           node(sender).xcast(makeCarrier(cid, sender, dest,
                                          std::move(casts)));
         });
@@ -164,17 +170,40 @@ void Experiment::validateCast(ProcessId sender, const GroupSet& dest) const {
   }
 }
 
+uint64_t Experiment::carrierBudget(uint64_t casts) const {
+  if (!batchingEnabled()) return 0;
+  const int s = cfg_.stack.batchMaxSize;
+  // No effective size cap (unbounded, or singleton batches): the flush
+  // pattern alone decides, and every cast may become its own carrier.
+  if (s <= 1) return casts;
+  return (casts + static_cast<uint64_t>(s) - 1) / static_cast<uint64_t>(s);
+}
+
+MsgId Experiment::allocCarrierId() {
+  if (cfg_.protocol == ProtocolKind::kRodrigues98 &&
+      nextMsgId_ >= amcast::RodriguesNode::kScopeBase) {
+    throw std::runtime_error(
+        "Rodrigues98: a batch-carrier id reached the kScopeBase "
+        "consensus-scope band (2^20) — the window-flush pattern minted more "
+        "carriers than the batchMaxSize budget anticipated. Lower the cast "
+        "budget, raise batchMaxSize, or split the run.");
+  }
+  return nextMsgId_++;
+}
+
 void Experiment::checkMsgIdCeiling(uint64_t pending) const {
   if (cfg_.protocol != ProtocolKind::kRodrigues98) return;
   const uint64_t ceiling = amcast::RodriguesNode::kScopeBase;
   // Ids already reserved by installed-but-not-yet-drained workloads count
   // against the budget too: generators allocate lazily, so the ceiling
   // must be enforced against the eventual total, not the current counter.
-  // With batching on, every cast may in the worst case flush as its own
-  // carrier (carriers draw from the same allocator), doubling the budget.
+  // With batching on, carriers draw from the same allocator: the budget
+  // grows by the exact size-trigger carrier count (carrierBudget). A
+  // window-flush pattern that mints more is caught per carrier by
+  // allocCarrierId, so the upfront check can use the tight count instead
+  // of the old conservative 2x.
   const uint64_t budget = reservedWorkloadIds_ + pending;
-  const uint64_t reach =
-      nextMsgId_ + (batchingEnabled() ? 2 * budget : budget);
+  const uint64_t reach = nextMsgId_ + budget + carrierBudget(budget);
   if (reach <= ceiling) return;
   std::ostringstream os;
   os << "Rodrigues98 runs one consensus instance per message under scope "
@@ -320,8 +349,11 @@ RunResult Experiment::harvest() const {
                                             rt_->lastAlgorithmicSend(),
                                             rt_->now());
   // The recorder observes casts/deliveries/sends, not fault events; both
-  // constructions take the fault block straight from the trace.
+  // constructions take the fault block straight from the trace. The channel
+  // block is likewise injected identically into both constructions: the
+  // plane's counters are not reconstructible from the trace.
   r.metrics.faults = rt_->faultStats();
+  if (channel_) r.metrics.channels = channel_->stats();
   for (const auto& rec : rt_->trace().recoveries)
     r.recovered.insert(rec.process);
   for (ProcessId p : rt_->topology().allProcesses()) {

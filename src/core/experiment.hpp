@@ -68,6 +68,11 @@ struct RunConfig {
   StackConfig stack{};
   abcast::A2Options a2{};        // kA2 / kViaBcast only
   abcast::MergeOptions merge{};  // kDetMerge00 only
+  // Iid per-wire-copy drop probability in [0, 1) (sim LossModel axis),
+  // drawn from a dedicated RNG stream forked from `seed` so arming loss
+  // never perturbs the latency draws of surviving copies. Protocol
+  // liveness under loss requires stack.reliableChannels.
+  double lossRate = 0;
   bool recordWire = false;
   // Streaming measurement plane (src/metrics/): when on (the default), a
   // metrics::Recorder observes the run and RunResult::metrics is built
@@ -177,6 +182,17 @@ class Experiment {
   // band [kScopeBase, ...) collision-free territory (ROADMAP "Scale
   // ceilings"): `pending` ids must fit below kScopeBase.
   void checkMsgIdCeiling(uint64_t pending) const;
+  // Exact worst-case carrier-id count for `casts` batched casts, derived
+  // from batchMaxSize (0 when batching is off). The size trigger caps a
+  // carrier at batchMaxSize casts, so a budget of B casts mints at most
+  // ceil(B / batchMaxSize) carriers at steady state; with no effective
+  // size cap every cast may flush alone.
+  [[nodiscard]] uint64_t carrierBudget(uint64_t casts) const;
+  // Allocates a batch-carrier id, enforcing the Rodrigues98 scope ceiling
+  // exactly at mint time: a pathological window-flush pattern that makes
+  // more carriers than carrierBudget() anticipated throws here instead of
+  // colliding with the consensus-scope band.
+  MsgId allocCarrierId();
   // Issue a cast NOW, from inside a workload arrival event: the message id
   // is allocated unconditionally (so schedules stay stable under crashes),
   // but a crashed sender casts nothing — the semantics the legacy per-cast
@@ -196,6 +212,10 @@ class Experiment {
   // the runtime; constructed right after rt_ in the ctor body.
   std::unique_ptr<metrics::Recorder> recorder_;  // nullptr: metrics off
   std::unique_ptr<sim::Runtime> rt_;
+  // Reliable-channel plane (nullptr: channels off). Declared after rt_ so
+  // it is destroyed first; the runtime holds a non-owning hook pointer and
+  // never invokes it from its destructor.
+  std::unique_ptr<channel::Plane> channel_;
   std::vector<XcastNode*> nodes_;
   std::unique_ptr<BatchPlane> batcher_;  // nullptr: batching off
   std::vector<std::unique_ptr<workload::Generator>> workloads_;

@@ -61,11 +61,12 @@ void writeSummaryJson(const RunResult& r, std::ostream& os,
   os << "  \"casts\": " << m.casts << ",\n";
   os << "  \"deliveries\": " << m.deliveries << ",\n";
   os << "  \"traffic\": {\n";
-  for (int l = 0; l < 5; ++l) {
+  for (int l = 0; l < kNumLayers; ++l) {
     const auto layer = static_cast<Layer>(l);
     os << "    \"" << layerName(layer) << "\": {\"intra\": "
        << m.traffic.at(layer).intra << ", \"inter\": "
-       << m.traffic.at(layer).inter << "}" << (l + 1 < 5 ? "," : "") << "\n";
+       << m.traffic.at(layer).inter << "}"
+       << (l + 1 < kNumLayers ? "," : "") << "\n";
   }
   os << "  },\n";
   os << "  \"latencyDegreeHistogram\": {";

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "channel/channel.hpp"
 #include "common/batch.hpp"
 #include "common/message.hpp"
 #include "consensus/consensus.hpp"
@@ -49,6 +50,15 @@ struct StackConfig {
   // size unbounded, the window alone flushes.
   SimTime batchWindow = 0;
   int batchMaxSize = 0;
+  // Reliable-channel substrate (src/channel/): when armed, every non-FD
+  // send/sendToMany is routed through a per-link retransmitting ARQ plane,
+  // restoring the quasi-reliable FIFO channel contract the algorithms were
+  // proved against — delivery obligations then bind through healed
+  // partitions and probabilistic loss (RunConfig::lossRate). Off =
+  // byte-identical to the direct send path (pinned by every pre-existing
+  // golden fingerprint).
+  bool reliableChannels = false;
+  channel::Config channel{};
 };
 
 class StackNode : public sim::Node {
@@ -94,6 +104,10 @@ class StackNode : public sim::Node {
       case Layer::kProtocol:
       case Layer::kApp:
         onProtocolMessage(from, payload);
+        break;
+      case Layer::kChannel:
+        // Channel control packets terminate in the channel plane; the
+        // substrate never hands them to a node.
         break;
     }
   }

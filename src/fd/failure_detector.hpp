@@ -236,6 +236,13 @@ class HeartbeatFd final : public FailureDetector {
       // is signalled, unlike the pre-v2 detector.
       suspected_[i] = 0;
       notifyRetract(from, fresh);
+    } else if (fresh) {
+      // Incarnation advance WITHOUT a standing suspicion: the peer crashed
+      // and recovered faster than this lane's timeout could notice (or the
+      // whole crash window hid behind a partition). Without a retraction
+      // nobody would re-send the amnesiac rejoiner anything until some
+      // later suspicion cycle happened to fire — the FD gap PR 6 left open.
+      notifyRetract(from, /*freshIncarnation=*/true);
     }
   }
 

@@ -71,7 +71,11 @@ void Recorder::onSend(const WireEvent& ev) {
   } else {
     ++counter.intra;
   }
-  if (ev.layer != Layer::kFailureDetector) lastAlgoSendAt_ = ev.sentAt;
+  // FD heartbeats and channel ACK/NACK control packets are substrate, not
+  // algorithm traffic: neither resets the quiescence clock (mirrors
+  // Runtime's lastAlgorithmicSend accounting, incl. channelSend).
+  if (ev.layer != Layer::kFailureDetector && ev.layer != Layer::kChannel)
+    lastAlgoSendAt_ = ev.sentAt;
 }
 
 Summary Recorder::summary(SimTime endTime) const {

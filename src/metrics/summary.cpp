@@ -55,7 +55,7 @@ void Summary::merge(const Summary& other) {
   for (size_t k = 0; k < other.perDestSize.size(); ++k)
     perDestSize[k].merge(other.perDestSize[k]);
   for (const auto& [deg, n] : other.latencyDegrees) latencyDegrees[deg] += n;
-  for (int l = 0; l < 5; ++l) {
+  for (int l = 0; l < kNumLayers; ++l) {
     traffic.perLayer[l].intra += other.traffic.perLayer[l].intra;
     traffic.perLayer[l].inter += other.traffic.perLayer[l].inter;
   }
@@ -64,6 +64,15 @@ void Summary::merge(const Summary& other) {
   faults.partitionsCut += other.faults.partitionsCut;
   faults.partitionsHealed += other.faults.partitionsHealed;
   faults.linkDrops += other.faults.linkDrops;
+  faults.lossDrops += other.faults.lossDrops;
+  channels.dataSent += other.channels.dataSent;
+  channels.retransmits += other.channels.retransmits;
+  channels.acksSent += other.channels.acksSent;
+  channels.nacksSent += other.channels.nacksSent;
+  channels.duplicatesDropped += other.channels.duplicatesDropped;
+  channels.staleDropped += other.channels.staleDropped;
+  channels.holdbackOverflow += other.channels.holdbackOverflow;
+  channels.delivered += other.channels.delivered;
 }
 
 Summary summarizeTrace(const RunTrace& trace, const Topology& topo,
@@ -199,7 +208,16 @@ void writeJson(const Summary& s, std::ostream& os, const std::string& indent) {
      << ", \"recoveries\": " << s.faults.recoveries
      << ", \"partitionsCut\": " << s.faults.partitionsCut
      << ", \"partitionsHealed\": " << s.faults.partitionsHealed
-     << ", \"linkDrops\": " << s.faults.linkDrops << "},\n";
+     << ", \"linkDrops\": " << s.faults.linkDrops
+     << ", \"lossDrops\": " << s.faults.lossDrops << "},\n";
+  os << in2 << "\"channels\": {\"dataSent\": " << s.channels.dataSent
+     << ", \"retransmits\": " << s.channels.retransmits
+     << ", \"acksSent\": " << s.channels.acksSent
+     << ", \"nacksSent\": " << s.channels.nacksSent
+     << ", \"duplicatesDropped\": " << s.channels.duplicatesDropped
+     << ", \"staleDropped\": " << s.channels.staleDropped
+     << ", \"holdbackOverflow\": " << s.channels.holdbackOverflow
+     << ", \"delivered\": " << s.channels.delivered << "},\n";
   os << in2 << "\"quiescence\": {\"lastCastUs\": " << s.lastCastAt
      << ", \"lastAlgoSendUs\": " << s.lastAlgoSendAt << ", \"settleUs\": "
      << (s.lastAlgoSendAt >= 0 && s.lastCastAt >= 0

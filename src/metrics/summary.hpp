@@ -86,6 +86,13 @@ struct Summary {
   // the streaming/offline equivalence holds field-for-field.
   FaultStats faults;
 
+  // Reliable-channel substrate counters (src/channel/): retransmits, ACKs,
+  // duplicate/stale suppression, holdback overflow. Maintained by the
+  // channel plane and injected identically into both constructions at
+  // Experiment::harvest (like lastAlgoSendAt, they are not reconstructible
+  // from the trace). All-zero when channels are off.
+  ChannelStats channels;
+
   // ---- derived rates ------------------------------------------------------
   // Offered load: casts per simulated second over the casting window.
   [[nodiscard]] double offeredPerSec() const;

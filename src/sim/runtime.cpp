@@ -91,6 +91,15 @@ void Runtime::multicast(ProcessId from, const std::vector<ProcessId>& tos,
   if (layer != Layer::kFailureDetector) {
     lastAlgoSend_ = sched_.now();
     sentAlgo_[static_cast<size_t>(from)] = 1;
+
+    // Reliable-channel substrate: the plane takes over transmission of the
+    // whole fan-out (it will emit wire copies through channelSend, each
+    // carrying this fan-out's single Lamport stamp). FD traffic stays on
+    // the direct path — heartbeat timing IS the failure signal.
+    if (channelHook_ != nullptr) {
+      channelHook_->onSend(from, tos, payload, sendTs);
+      return;
+    }
   }
 
   // One pooled record for the whole fan-out; each copy is only a POD heap
@@ -126,12 +135,77 @@ void Runtime::multicast(ProcessId from, const std::vector<ProcessId>& tos,
       continue;
     }
     if (drop_ && drop_(from, to, *f->payload)) continue;
+    if (lossP_ > 0 && lossRng_.uniform01() < lossP_) {
+      ++trace_.lossDrops;
+      continue;
+    }
 
     const SimTime delay = drawLatency(inter);
     ++f->pending;
     sched_.at(sched_.now() + delay, Delivery{this, f, to});
   }
   if (f->pending == 0) releaseFanout(f);  // every copy dropped
+}
+
+void Runtime::setLossRate(double p) {
+  if (!(p >= 0.0 && p < 1.0)) {
+    std::ostringstream os;
+    os << "Runtime::setLossRate: probability " << p
+       << " outside [0, 1) - a lossless link needs 0, a dead one a cut";
+    throw std::invalid_argument(os.str());
+  }
+  lossP_ = p;
+}
+
+void Runtime::channelSend(ProcessId from, ProcessId to, PayloadPtr payload,
+                          Layer accountLayer) {
+  assert(payload != nullptr);
+  assert(channelHook_ != nullptr);
+  if (crashed(from)) return;  // crash between enqueue and (re)transmit
+  const bool inter = !topo_.sameGroup(from, to);
+  auto& counter = traffic_.at(accountLayer);
+  if (inter) {
+    ++counter.inter;
+  } else {
+    ++counter.intra;
+  }
+  // Channel control traffic (ACK/NACK) is substrate, like FD: it neither
+  // counts as algorithmic activity nor resets the quiescence clock. DATA
+  // (re)transmissions are accounted under their inner layer and do.
+  if (accountLayer != Layer::kFailureDetector &&
+      accountLayer != Layer::kChannel) {
+    lastAlgoSend_ = sched_.now();
+    sentAlgo_[static_cast<size_t>(from)] = 1;
+  }
+  if (recordWire_ || !sendObservers_.empty()) {
+    const WireEvent ev{from, to, accountLayer, inter, sched_.now()};
+    if (recordWire_) trace_.wire.push_back(ev);
+    for (RunObserver* o : sendObservers_) o->onSend(ev);
+  }
+  if (anyLinkState_ && !linkUp(from, to)) {
+    ++trace_.linkDrops;
+    return;
+  }
+  if (drop_ && drop_(from, to, *payload)) return;
+  if (lossP_ > 0 && lossRng_.uniform01() < lossP_) {
+    ++trace_.lossDrops;
+    return;
+  }
+  const SimTime delay = drawLatency(inter);
+  sched_.at(sched_.now() + delay,
+            ChanDelivery{this, from, to, std::move(payload)});
+}
+
+void Runtime::deliverFromChannel(ProcessId from, ProcessId to,
+                                 const PayloadPtr& payload, uint64_t sendTs) {
+  if (crashed(to)) return;
+  // Receive event (rule 3) against the ORIGINAL send stamp: however many
+  // retransmissions it took, the Lamport cost model sees one send event.
+  uint64_t& recvClock = lamport_[static_cast<size_t>(to)];
+  recvClock = std::max(recvClock, sendTs);
+  if (payload->layer() != Layer::kFailureDetector)
+    recvAlgo_[static_cast<size_t>(to)] = 1;
+  nodes_[static_cast<size_t>(to)]->onMessage(from, payload);
 }
 
 void Runtime::deliverCopy(Fanout& f, ProcessId to) {
@@ -174,6 +248,9 @@ void Runtime::recover(ProcessId pid) {
   // incarnation (old-incarnation timers are suppressed by TimerGuard).
   ++incarnation_[i];
   crashed_[i] = 0;
+  // The channel plane forgets the dead incarnation's endpoints before the
+  // fresh node exists: its first sends open brand-new sequence spaces.
+  if (channelHook_ != nullptr) channelHook_->onReset(pid);
   purgeListeners(crashListeners_, pid, incarnation_[i]);
   purgeListeners(recoveryListeners_, pid, incarnation_[i]);
   std::unique_ptr<Node> fresh = nodeFactory_(pid);

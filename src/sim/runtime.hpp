@@ -56,12 +56,36 @@ struct LatencyModel {
 
 class Node;
 
+// Interception point for the reliable-channel substrate (src/channel/).
+// When installed, every non-FD multicast is handed to the hook INSTEAD of
+// being scheduled directly; the hook transmits wire copies through
+// Runtime::channelSend (which applies traffic accounting, link state, the
+// drop filter, the loss model, and the latency draw) and hands packets that
+// have reached their in-order point to Runtime::deliverFromChannel. With no
+// hook installed the send path is byte-identical to the direct scheme.
+class ChannelHook {
+ public:
+  virtual ~ChannelHook() = default;
+  // One fan-out from `from` with the already-stamped modified Lamport clock
+  // value `sendTs` (the clock ticked ONCE for the whole fan-out; every
+  // transmission and retransmission of these copies must carry `sendTs`).
+  virtual void onSend(ProcessId from, const std::vector<ProcessId>& tos,
+                      const PayloadPtr& payload, uint64_t sendTs) = 0;
+  // A wire copy sent via channelSend arrived at a live process `to`.
+  virtual void onWireArrive(ProcessId from, ProcessId to,
+                            const PayloadPtr& payload) = 0;
+  // `pid` recovered as a fresh incarnation (called before the fresh node is
+  // built): its channel endpoints must forget the dead incarnation's state.
+  virtual void onReset(ProcessId pid) = 0;
+};
+
 class Runtime {
  public:
   Runtime(Topology topo, LatencyModel latency, uint64_t seed)
       : topo_(std::move(topo)),
         latency_(latency),
         rng_(SplitMix64(seed).fork(0xa11ce)),
+        lossRng_(SplitMix64(seed).fork(0x105eca11)),
         lamport_(static_cast<size_t>(topo_.numProcesses()), 0),
         crashed_(static_cast<size_t>(topo_.numProcesses()), 0),
         everCrashed_(static_cast<size_t>(topo_.numProcesses()), 0),
@@ -128,6 +152,43 @@ class Runtime {
   using DropFilter =
       std::function<bool(ProcessId from, ProcessId to, const Payload&)>;
   void setDropFilter(DropFilter f) { drop_ = std::move(f); }
+
+  // ---- loss model ----------------------------------------------------------
+  //
+  // Iid per-copy drop probability, applied to every wire copy after link
+  // state and the drop filter but before the latency draw. The coins come
+  // from their OWN SplitMix64 stream forked from the run seed, so arming
+  // loss never perturbs the latency draws of the copies that survive, and
+  // p = 0 consumes no randomness at all (byte-identical to today).
+  void setLossRate(double p);
+  [[nodiscard]] double lossRate() const { return lossP_; }
+
+  // ---- reliable-channel substrate -----------------------------------------
+
+  // Installs a NON-OWNING channel hook (null to remove). The hook must stay
+  // alive for as long as the runtime dispatches events. Layer
+  // kFailureDetector traffic is never routed through the hook: heartbeat
+  // TIMING is the failure signal, and retransmitting it would blind the
+  // detector.
+  void setChannelHook(ChannelHook* hook) { channelHook_ = hook; }
+  [[nodiscard]] ChannelHook* channelHook() const { return channelHook_; }
+  [[nodiscard]] const LatencyModel& latencyModel() const { return latency_; }
+
+  // Raw single-copy transmission for the channel plane: traffic accounting
+  // under `accountLayer` (DATA under its inner layer, ACK/NACK under
+  // kChannel), wire observers, link state, drop filter, loss model, latency
+  // draw, then ChannelHook::onWireArrive at the receiver. Never touches the
+  // Lamport clocks: only the ORIGINAL multicast ticks the sender's clock
+  // (paper §2.3); retransmissions carry the original stamp inside the
+  // channel payload.
+  void channelSend(ProcessId from, ProcessId to, PayloadPtr payload,
+                   Layer accountLayer);
+
+  // Final in-order handoff of a channel-carried packet to the hosting node:
+  // applies the receive-side Lamport jump to the ORIGINAL `sendTs` and the
+  // genuineness accounting, exactly like a direct delivery would have.
+  void deliverFromChannel(ProcessId from, ProcessId to,
+                          const PayloadPtr& payload, uint64_t sendTs);
 
   // ---- timers --------------------------------------------------------------
 
@@ -324,6 +385,20 @@ class Runtime {
     void operator()() const { rt->deliverCopy(*f, to); }
   };
 
+  // One channel wire copy in flight (channelSend). Arrival goes back to the
+  // hook, not to the node: the plane decides when the packet reaches its
+  // in-order point. Small enough to stay inline in the scheduler pool.
+  struct ChanDelivery {
+    Runtime* rt;
+    ProcessId from;
+    ProcessId to;
+    PayloadPtr payload;
+    void operator()() const {
+      if (!rt->crashed(to) && rt->channelHook_ != nullptr)
+        rt->channelHook_->onWireArrive(from, to, payload);
+    }
+  };
+
   Fanout* acquireFanout() {
     if (!fanoutFree_.empty()) {
       Fanout* f = fanoutFree_.back();
@@ -343,6 +418,7 @@ class Runtime {
   ArenaPool payloadArena_;  // first: destroyed after nodes and events
   LatencyModel latency_;
   SplitMix64 rng_;
+  SplitMix64 lossRng_;  // separate stream: loss never perturbs latency draws
   Scheduler sched_;
 
   // One crash/recovery listener, owned by a process incarnation: dispatch
@@ -408,6 +484,8 @@ class Runtime {
   std::vector<LinkWindow> linkWindows_;
 
   DropFilter drop_;
+  ChannelHook* channelHook_ = nullptr;
+  double lossP_ = 0;  // iid per-copy drop probability
   std::vector<OwnedListener> crashListeners_;
   std::vector<OwnedListener> recoveryListeners_;
   std::vector<RunObserver*> castObservers_;

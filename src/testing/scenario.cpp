@@ -233,11 +233,27 @@ Scenario& Scenario::withDefaultExpectations() {
   const bool anyCrashes =
       !crashes.empty() ||
       (randomCrashes.has_value() && randomCrashes->perGroup > 0);
-  // A partition voids the quasi-reliable-channel assumption exactly like
-  // an omission fault: copies sent across the cut are lost for good, so
-  // delivery obligations no longer bind (safety still must).
-  const bool anyDrops = !drops.empty() || !partitions.empty() ||
-                        randomPartitions.has_value();
+  bool anyDrops;
+  if (config.stack.reliableChannels) {
+    // The retransmitting substrate (src/channel/) restores the quasi-
+    // reliable-channel assumption through transient faults: iid loss
+    // (lossRate < 1) and HEALING partitions are masked by retransmission,
+    // so the full delivery obligations bind. Only permanent omission still
+    // voids them: DropSpec filters match retransmitted copies too (a
+    // matched link stays lossy forever), and a partition that never heals
+    // leaves the retransmit timers firing into a void.
+    bool unhealedCut = false;
+    for (const auto& p : partitions)
+      if (p.until == kTimeNever) unhealedCut = true;
+    anyDrops = !drops.empty() || unhealedCut;
+  } else {
+    // A partition (or raw wire loss) voids the quasi-reliable-channel
+    // assumption exactly like an omission fault: copies sent across the
+    // cut are lost for good, so delivery obligations no longer bind
+    // (safety still must).
+    anyDrops = !drops.empty() || !partitions.empty() ||
+               randomPartitions.has_value() || config.lossRate > 0;
+  }
   expect = defaultExpectations(config.protocol, anyCrashes, anyDrops);
   // Recovered-delivery is a LIVENESS obligation: it only binds where the
   // other delivery obligations do (drops/partitions void it too — a lost
@@ -313,8 +329,15 @@ std::string traceFingerprint(const core::RunResult& r) {
     os << "P " << (p.cut ? "cut" : "heal") << " s" << p.side << " t"
        << p.when << "\n";
   if (r.trace.linkDrops != 0) os << "LD " << r.trace.linkDrops << "\n";
-  for (int l = 0; l < 5; ++l) {
+  if (r.trace.lossDrops != 0) os << "XD " << r.trace.lossDrops << "\n";
+  for (int l = 0; l < kNumLayers; ++l) {
     const auto& c = r.traffic.at(static_cast<Layer>(l));
+    // The channel layer postdates the golden corpus: its line appears only
+    // when channel traffic exists, so channels-off fingerprints (and the
+    // loss-drop line above) stay byte-identical to the pre-channel runs.
+    if (static_cast<Layer>(l) == Layer::kChannel &&
+        c.intra == 0 && c.inter == 0)
+      continue;
     os << "T " << layerName(static_cast<Layer>(l)) << " intra=" << c.intra
        << " inter=" << c.inter << "\n";
   }
@@ -763,6 +786,52 @@ std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
     s.workload->destZipf = 1.5;
     s.partitions.push_back(
         PartitionSpec{GroupSet::single(0), 150 * kMs, 450 * kMs});
+    s.runUntil = v2Horizon;
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+
+  // Reliable-channel cells (PR 7, appended so every earlier cell keeps its
+  // name and fingerprint): the retransmitting substrate under the faults
+  // that void liveness for bare stacks. With channels armed these are the
+  // FULL property suites — transient loss and healing cuts must be masked,
+  // so validity/agreement bind again (see withDefaultExpectations).
+  {
+    // The partition-heal cell graduated to a liveness cell: retransmit
+    // timers outlive the 300ms cut, so every copy lost across it is
+    // re-sent after the heal and all obligations must be met.
+    Scenario s = makeBase("chan-partition-heal", LatencyPreset::kWan);
+    s.config.stack.reliableChannels = true;
+    s.partitions.push_back(
+        PartitionSpec{GroupSet::single(0), 150 * kMs, 450 * kMs});
+    s.runUntil = v2Horizon;
+    s.withDefaultExpectations();
+    out.push_back(std::move(s));
+  }
+  // iid per-copy wire loss at 1%, 5%, and 10%: the classic lossy-WAN
+  // regime. Without channels these rates would void liveness (a lost copy
+  // is gone for good); with them the go-back-N/NACK machinery must recover
+  // every gap, so the full suite applies at every rate.
+  for (double lossP : {0.01, 0.05, 0.10}) {
+    std::string tag = "chan-loss-p";  // append: GCC 12 -Wrestrict
+    tag += std::to_string(static_cast<int>(lossP * 100 + 0.5));
+    Scenario s = makeBase(tag.c_str(), LatencyPreset::kWan);
+    s.config.stack.reliableChannels = true;
+    s.config.lossRate = lossP;
+    s.runUntil = v2Horizon;
+    s.withDefaultExpectations();
+    s.expect.minDeliveries = 1;
+    out.push_back(std::move(s));
+  }
+  if (traits.toleratesCrashes) {
+    // Channels x crash-recovery: the incarnation/epoch machinery is what
+    // keeps a recovered endpoint from replaying its dead incarnation's
+    // sequence space. Same script as crash-recover, channels armed.
+    Scenario s = makeBase("chan-crash-recover", LatencyPreset::kWan);
+    s.config.stack.reliableChannels = true;
+    s.crashes.push_back(CrashSpec{1, 200 * kMs});
+    s.recoveries.push_back(RecoverSpec{1, 500 * kMs});
+    s.workload->count = opt.casts + 4;  // arrivals past the recovery
     s.runUntil = v2Horizon;
     s.withDefaultExpectations();
     out.push_back(std::move(s));

@@ -1,0 +1,255 @@
+// Unit tests for the reliable retransmitting channel substrate
+// (src/channel/): per-link sequencing and FIFO delivery under reorder,
+// loss recovery via RTO retransmit and NACK fast resend, duplicate and
+// stale-incarnation suppression, the bounded holdback buffer, and the
+// loss model underneath it all.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "sim/runtime.hpp"
+
+namespace wanmc {
+namespace {
+
+struct TestMsg final : Payload {
+  explicit TestMsg(int i) : id(i) {}
+  int id;
+  [[nodiscard]] Layer layer() const override { return Layer::kProtocol; }
+  [[nodiscard]] std::string debugString() const override {
+    return "t" + std::to_string(id);
+  }
+};
+
+class ChanHost final : public sim::Node {
+ public:
+  using sim::Node::Node;
+  void onMessage(ProcessId from, const PayloadPtr& p) override {
+    if (const auto* m = dynamic_cast<const TestMsg*>(p.get()))
+      got.push_back({from, m->id});
+  }
+  std::vector<std::pair<ProcessId, int>> got;
+};
+
+struct ChanFixture {
+  ChanFixture(int groups, int procs, sim::LatencyModel lm,
+              channel::Config cfg = {}, uint64_t seed = 1)
+      : rt(Topology(groups, procs), lm, seed), plane(rt, cfg) {
+    rt.setChannelHook(&plane);
+    for (ProcessId p = 0; p < rt.topology().numProcesses(); ++p) {
+      auto n = std::make_unique<ChanHost>(rt, p);
+      hosts.push_back(n.get());
+      rt.attach(p, std::move(n));
+    }
+    rt.setNodeFactory([this](ProcessId p) {
+      auto n = std::make_unique<ChanHost>(rt, p);
+      hosts[static_cast<size_t>(p)] = n.get();
+      return n;
+    });
+    rt.start();
+  }
+
+  std::vector<int> idsAt(ProcessId p) const {
+    std::vector<int> out;
+    for (const auto& [from, id] : hosts[static_cast<size_t>(p)]->got)
+      out.push_back(id);
+    return out;
+  }
+
+  sim::Runtime rt;
+  channel::Plane plane;
+  std::vector<ChanHost*> hosts;
+};
+
+std::vector<int> iota(int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FIFO and counters on a clean link.
+// ---------------------------------------------------------------------------
+
+TEST(Channel, CleanLinkDeliversInOrderWithMinimalTraffic) {
+  ChanFixture f(1, 3, sim::LatencyModel::fixed(kMs, 100 * kMs));
+  for (int i = 0; i < 8; ++i)
+    f.rt.multicast(0, {1, 2}, std::make_shared<TestMsg>(i));
+  f.rt.run(10 * kSec);
+  EXPECT_EQ(f.idsAt(1), iota(8));
+  EXPECT_EQ(f.idsAt(2), iota(8));
+  const auto& s = f.plane.stats();
+  EXPECT_EQ(s.dataSent, 16u);   // one per (message, destination)
+  EXPECT_EQ(s.delivered, 16u);
+  EXPECT_EQ(s.acksSent, 16u);   // one cumulative ACK per DATA arrival
+  EXPECT_EQ(s.retransmits, 0u);  // nothing lost: the RTO never fires
+  EXPECT_EQ(s.nacksSent, 0u);
+  EXPECT_EQ(s.duplicatesDropped, 0u);
+  EXPECT_EQ(s.staleDropped, 0u);
+  EXPECT_EQ(s.holdbackOverflow, 0u);
+}
+
+TEST(Channel, ReorderingJitterIsMaskedByTheHoldback) {
+  // Wide iid jitter: 30 copies drawn independently from [1ms, 50ms] arrive
+  // scrambled, but each link must hand them up strictly in send order.
+  ChanFixture f(1, 2, sim::LatencyModel{kMs, 50 * kMs, kMs, 50 * kMs});
+  for (int i = 0; i < 30; ++i)
+    f.rt.send(0, 1, std::make_shared<TestMsg>(i));
+  f.rt.run(30 * kSec);
+  EXPECT_EQ(f.idsAt(1), iota(30));
+  EXPECT_EQ(f.plane.stats().delivered, 30u);
+  // The premise actually bit: at least one arrival opened a gap.
+  EXPECT_GT(f.plane.stats().nacksSent, 0u)
+      << "seed 1 must scramble at least one pair for this test to bite; "
+         "pick another seed if the latency RNG changes";
+}
+
+// ---------------------------------------------------------------------------
+// Loss recovery.
+// ---------------------------------------------------------------------------
+
+TEST(Channel, LossIsRecoveredExactlyOnceInOrder) {
+  ChanFixture f(2, 1, sim::LatencyModel::fixed(kMs, 100 * kMs));
+  f.rt.setLossRate(0.3);
+  for (int i = 0; i < 30; ++i)
+    f.rt.send(0, 1, std::make_shared<TestMsg>(i));
+  f.rt.run(120 * kSec);
+  EXPECT_EQ(f.idsAt(1), iota(30));  // every loss masked, no dup, no reorder
+  const auto& s = f.plane.stats();
+  EXPECT_GT(f.rt.trace().lossDrops, 0u);
+  EXPECT_GT(s.retransmits, 0u);
+  EXPECT_EQ(s.delivered, 30u);
+  // A retransmitted copy whose original got through is suppressed by seq.
+  EXPECT_GT(s.duplicatesDropped, 0u);
+}
+
+TEST(Channel, BoundedHoldbackOverflowStillConvergesViaRetransmit) {
+  // Drop the first transmission of seq 0 only: seqs 1..4 arrive in order
+  // behind the gap, the 2-slot holdback keeps {1,2} and sheds {3,4}
+  // (drop-newest), and the NACK + RTO machinery re-offers everything.
+  channel::Config cfg;
+  cfg.holdbackCap = 2;
+  ChanFixture f(1, 2, sim::LatencyModel::fixed(kMs, 100 * kMs), cfg);
+  int dropped = 0;
+  f.rt.setDropFilter([&dropped](ProcessId, ProcessId, const Payload& p) {
+    const auto* d = dynamic_cast<const channel::DataPacket*>(&p);
+    if (d != nullptr && d->seq == 0 && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  for (int i = 0; i < 5; ++i)
+    f.rt.send(0, 1, std::make_shared<TestMsg>(i));
+  f.rt.run(30 * kSec);
+  EXPECT_EQ(f.idsAt(1), iota(5));
+  const auto& s = f.plane.stats();
+  EXPECT_EQ(s.holdbackOverflow, 2u);  // seqs 3 and 4 found the buffer full
+  EXPECT_GT(s.nacksSent, 0u);         // the gap was NACKed...
+  EXPECT_GT(s.retransmits, 0u);       // ...and re-offered
+  EXPECT_EQ(s.delivered, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Incarnations: stale suppression and link re-keying.
+// ---------------------------------------------------------------------------
+
+TEST(Channel, StaleIncarnationCopiesAreDroppedNotDelivered) {
+  // p0's first DATA (incarnation 0, seq 0) is still in flight when p0
+  // crashes and recovers; the fresh incarnation reuses seq 0 for a NEW
+  // message. Without the (sender incarnation, seq) key the straggler
+  // would either be delivered under the fresh space or suppress the
+  // legitimate fresh seq 0.
+  ChanFixture f(2, 1, sim::LatencyModel::fixed(kMs, 100 * kMs));
+  f.rt.send(0, 1, std::make_shared<TestMsg>(100));  // inc 0, arrives t=100ms
+  f.rt.scheduleCrash(0, 10 * kMs);
+  f.rt.scheduleRecover(0, 20 * kMs);
+  f.rt.scheduler().at(30 * kMs, [&f]() {
+    f.rt.send(0, 1, std::make_shared<TestMsg>(200));  // inc 1, seq 0 again
+  });
+  f.rt.run(10 * kSec);
+  EXPECT_EQ(f.idsAt(1), std::vector<int>{200});
+  EXPECT_EQ(f.plane.stats().staleDropped, 1u);
+  EXPECT_EQ(f.plane.stats().delivered, 1u);
+}
+
+TEST(Channel, ReceiverRecoveryRekeysTheLinkAndReoffersTheBacklog) {
+  // p1 acks ids 0..1, crashes, and rejoins as an amnesiac while p0 still
+  // holds unacked ids 2..4. p1's fresh ACK reveals the new incarnation;
+  // p0 must re-key the link (new epoch, sequence space from 0) and
+  // re-offer the backlog, which the fresh p1 delivers in order.
+  ChanFixture f(2, 1, sim::LatencyModel::fixed(kMs, 100 * kMs));
+  for (int i = 0; i < 2; ++i)
+    f.rt.send(0, 1, std::make_shared<TestMsg>(i));
+  // ids 0,1 arrive at 100ms, ACKs back at 200ms. Crash after the ACKs.
+  f.rt.scheduleCrash(1, 250 * kMs);
+  f.rt.scheduler().at(300 * kMs, [&f]() {
+    for (int i = 2; i < 5; ++i)
+      f.rt.send(0, 1, std::make_shared<TestMsg>(i));  // into the void
+  });
+  f.rt.scheduleRecover(1, 390 * kMs);  // alive again before the copies land
+  f.rt.run(60 * kSec);
+  // The fresh incarnation saw exactly the unacked backlog, in order
+  // (ids 0..1 died with the old incarnation's state — by design).
+  EXPECT_EQ(f.idsAt(1), (std::vector<int>{2, 3, 4}));
+  EXPECT_GT(f.plane.stats().retransmits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The loss model itself (channels off).
+// ---------------------------------------------------------------------------
+
+TEST(LossModel, DropsCopiesWithoutChannelsAndValidatesRange) {
+  sim::Runtime rt(Topology(2, 1), sim::LatencyModel::fixed(kMs, 100 * kMs),
+                  1);
+  EXPECT_THROW(rt.setLossRate(-0.1), std::invalid_argument);
+  EXPECT_THROW(rt.setLossRate(1.0), std::invalid_argument);
+  rt.setLossRate(0.5);
+  std::vector<ChanHost*> hosts;
+  for (ProcessId p = 0; p < 2; ++p) {
+    auto n = std::make_unique<ChanHost>(rt, p);
+    hosts.push_back(n.get());
+    rt.attach(p, std::move(n));
+  }
+  rt.start();
+  for (int i = 0; i < 100; ++i)
+    rt.send(0, 1, std::make_shared<TestMsg>(i));
+  rt.run(10 * kSec);
+  EXPECT_GT(rt.trace().lossDrops, 0u);
+  EXPECT_EQ(hosts[1]->got.size() + rt.trace().lossDrops, 100u);
+  EXPECT_GT(hosts[1]->got.size(), 0u);
+}
+
+TEST(LossModel, ZeroRateDrawsNoCoinsAndRunsAreByteIdentical) {
+  // Arming then disarming nothing: a 0-loss run must match a run where
+  // setLossRate was never called (the coin stream is gated, not merely
+  // ignored) — this is what pins the 436 golden cells channels-off.
+  auto runOnce = [](bool touchKnob) {
+    sim::Runtime rt(Topology(2, 2),
+                    sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs}, 7);
+    if (touchKnob) rt.setLossRate(0.0);
+    std::vector<ChanHost*> hosts;
+    for (ProcessId p = 0; p < 4; ++p) {
+      auto n = std::make_unique<ChanHost>(rt, p);
+      hosts.push_back(n.get());
+      rt.attach(p, std::move(n));
+    }
+    rt.start();
+    for (int i = 0; i < 20; ++i)
+      rt.multicast(0, {1, 2, 3}, std::make_shared<TestMsg>(i));
+    rt.run(10 * kSec);
+    std::vector<std::pair<ProcessId, int>> all;
+    for (auto* h : hosts)
+      all.insert(all.end(), h->got.begin(), h->got.end());
+    return all;
+  };
+  EXPECT_EQ(runOnce(false), runOnce(true));
+}
+
+}  // namespace
+}  // namespace wanmc

@@ -269,5 +269,30 @@ TEST(OracleFd, RetractsOnRecoveryAndSeedsLateDetectors) {
   EXPECT_FALSE(g.hosts[2]->det->suspects(1));
 }
 
+TEST(HeartbeatFdScoped, FastRecoveryWhileUnsuspectedStillRetractsFresh) {
+  // Regression (PR 7): p2 crashes and recovers FASTER than any lane's
+  // timeout can notice (intra timeout 80ms, crash window 30ms), so no
+  // peer ever suspects it. The fresh incarnation's first heartbeat must
+  // still fire onRetraction(fresh=true) — without it, the Rodrigues-style
+  // state-re-introduction hooks would never learn the amnesiac rejoined
+  // until some unrelated suspicion cycle happened to fire.
+  ScopedFixture f(2, 2, fd::FdKind::kHeartbeat);
+  f.rt.scheduleCrash(2, 200 * kMs);
+  f.rt.scheduleRecover(2, 230 * kMs);
+  f.rt.run(2 * kSec);
+  // Own-group peer p3: never suspected, yet told about the incarnation.
+  EXPECT_TRUE(f.hosts[3]->suspicions.empty());
+  ASSERT_FALSE(f.hosts[3]->retractions.empty());
+  EXPECT_EQ(f.hosts[3]->retractions[0], 2);
+  EXPECT_EQ(f.hosts[3]->retractionFresh[0], 1);
+  EXPECT_FALSE(f.hosts[3]->det->suspects(2));
+  // Remote-lane observer p0 (remote timeout 400ms) is equally blind to
+  // the 30ms window and must learn the same way.
+  EXPECT_TRUE(f.hosts[0]->suspicions.empty());
+  ASSERT_FALSE(f.hosts[0]->retractions.empty());
+  EXPECT_EQ(f.hosts[0]->retractions[0], 2);
+  EXPECT_EQ(f.hosts[0]->retractionFresh[0], 1);
+}
+
 }  // namespace
 }  // namespace wanmc

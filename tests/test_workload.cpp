@@ -308,6 +308,26 @@ TEST(Validation, RodriguesWorkloadsCappedBelowScopeBase) {
   EXPECT_NO_THROW(ok.addWorkload(spec));
 }
 
+TEST(Validation, RodriguesBatchedCeilingUsesExactCarrierBudget) {
+  // With batching on, carrier ids draw from the same allocator as cast
+  // ids. The upfront check budgets the exact size-trigger carrier count
+  // ceil(B / batchMaxSize) — replacing the old conservative 2x bound,
+  // which rejected everything past ~524k casts. With maxSize = 4 and
+  // nextMsgId starting at 1, B = 838860 reaches exactly id 2^20 - 1 and
+  // is accepted; one more cast crosses the scope band.
+  RunConfig cfg = wanCfg(ProtocolKind::kRodrigues98, 2, 2, 1);
+  cfg.stack.batchWindow = 50 * kMs;
+  cfg.stack.batchMaxSize = 4;
+  workload::Spec fits = workload::Spec::closedLoop(838'860, kMs, 2);
+  workload::Spec over = workload::Spec::closedLoop(838'861, kMs, 2);
+  EXPECT_NO_THROW(Experiment(cfg).addWorkload(fits));
+  EXPECT_THROW(Experiment(cfg).addWorkload(over), std::invalid_argument);
+  // Unbatched runs keep the plain budget: no carrier headroom reserved.
+  RunConfig plain = wanCfg(ProtocolKind::kRodrigues98, 2, 2, 1);
+  workload::Spec full = workload::Spec::closedLoop((1 << 20) - 1, kMs, 2);
+  EXPECT_NO_THROW(Experiment(plain).addWorkload(full));
+}
+
 TEST(Validation, RodriguesCeilingCountsLayeredWorkloadBudgets) {
   // Ids are allocated lazily at arrival time, so the ceiling must hold
   // against the RESERVED total: two workloads that individually fit must
