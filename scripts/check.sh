@@ -6,6 +6,11 @@
 #   scripts/check.sh bench      ... bench smoke + perf-regression gate
 #   scripts/check.sh sanitize   ... ASan+UBSan Debug build, unit+scenario
 #                                   (the CI `sanitize` job, locally)
+#   scripts/check.sh lint       ... wanmc-lint determinism rules (self-test
+#                                   + live tree) and clang-tidy, if installed
+#   scripts/check.sh tsan       ... TSan build; the threaded surface only:
+#                                   jobs=4 golden matrix, parallel-vs-serial
+#                                   sweep equality, 100-seed sweep
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,7 +19,7 @@ TIER="${1:-all}"
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
 
-if [[ "$TIER" != "sanitize" ]]; then
+if [[ "$TIER" != "sanitize" && "$TIER" != "tsan" && "$TIER" != "lint" ]]; then
   cmake -B "$BUILD_DIR" -S .
   cmake --build "$BUILD_DIR" -j "$JOBS"
 fi
@@ -29,13 +34,40 @@ case "$TIER" in
     ;;
   sanitize)
     ASAN_DIR="${ASAN_DIR:-build-asan}"
-    cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DWANMC_SANITIZE=ON \
+    cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DWANMC_SANITIZE=address \
       -DWANMC_BUILD_BENCH=OFF -DWANMC_BUILD_EXAMPLES=OFF
     cmake --build "$ASAN_DIR" -j "$JOBS"
     ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS"
     ;;
+  lint)
+    PY="${PYTHON:-python3}"
+    "$PY" tools/lint/wanmc_lint.py --self-test
+    "$PY" tools/lint/wanmc_lint.py
+    if command -v clang-tidy >/dev/null 2>&1; then
+      # clang-tidy needs compile_commands.json: configure (no build) is
+      # enough, the checks run on source.
+      cmake -B "$BUILD_DIR" -S . >/dev/null
+      # Headers are covered through the TUs that include them
+      # (HeaderFilterRegex in .clang-tidy).
+      find src examples -name '*.cpp' -print0 | xargs -0 -P "$JOBS" -n 8 \
+        clang-tidy -p "$BUILD_DIR" --quiet
+    else
+      echo "clang-tidy not installed - skipping the tidy half of the lint tier"
+    fi
+    ;;
+  tsan)
+    TSAN_DIR="${TSAN_DIR:-build-tsan}"
+    cmake -B "$TSAN_DIR" -S . -DWANMC_SANITIZE=thread \
+      -DWANMC_BUILD_BENCH=OFF -DWANMC_BUILD_EXAMPLES=OFF
+    cmake --build "$TSAN_DIR" -j "$JOBS"
+    # WANMC_JOBS=4 forces the worker pool on even on small runners, so the
+    # golden matrix and the sweeps genuinely exercise the threaded paths.
+    WANMC_JOBS=4 "$TSAN_DIR/test_golden_fingerprints"
+    WANMC_JOBS=4 "$TSAN_DIR/test_seed_sweep"
+    ;;
   *)
-    echo "usage: $0 [all|unit|scenario|bench|sanitize]" >&2
+    echo "usage: $0 [all|unit|scenario|bench|sanitize|lint|tsan]" >&2
     exit 2
     ;;
 esac

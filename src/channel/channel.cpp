@@ -4,6 +4,8 @@
 #include <memory>
 #include <sstream>
 
+#include "common/hot.hpp"
+
 namespace wanmc::channel {
 
 std::string DataPacket::debugString() const {
@@ -32,8 +34,8 @@ Plane::Plane(sim::Runtime& rt, Config cfg)
   in_.resize(static_cast<size_t>(n_) * static_cast<size_t>(n_));
 }
 
-void Plane::onSend(ProcessId from, const std::vector<ProcessId>& tos,
-                   const PayloadPtr& payload, uint64_t sendTs) {
+WANMC_HOT void Plane::onSend(ProcessId from, const std::vector<ProcessId>& tos,
+                             const PayloadPtr& payload, uint64_t sendTs) {
   const Layer layer = payload->layer();
   for (ProcessId to : tos) {
     OutLink& ol = out(from, to);
@@ -45,8 +47,10 @@ void Plane::onSend(ProcessId from, const std::vector<ProcessId>& tos,
   }
 }
 
-void Plane::transmit(ProcessId from, ProcessId to, const OutLink& ol,
-                     uint64_t seq, const Unacked& u) {
+WANMC_HOT void Plane::transmit(ProcessId from, ProcessId to, const OutLink& ol,
+                               uint64_t seq, const Unacked& u) {
+  // wanmc-lint: allow(D5): one DataPacket envelope per wire copy; pooling
+  // it through the payload arena is the ROADMAP's channel follow-through
   auto pkt = std::make_shared<DataPacket>();
   pkt->inner = u.inner;
   pkt->innerLayer = u.innerLayer;
@@ -114,7 +118,8 @@ void Plane::onWireArrive(ProcessId from, ProcessId to,
   }
 }
 
-void Plane::handleData(ProcessId sender, ProcessId self, const DataPacket& d) {
+WANMC_HOT void Plane::handleData(ProcessId sender, ProcessId self,
+                                 const DataPacket& d) {
   // Stale-incarnation copies (a dead incarnation's stragglers still in
   // flight) are dropped outright: the (sender incarnation, seq) key is what
   // makes duplicate suppression survive recovery.
@@ -192,8 +197,11 @@ void Plane::handleData(ProcessId sender, ProcessId self, const DataPacket& d) {
   sendAck(self, sender, il, nackFrom, nackTo);
 }
 
-void Plane::sendAck(ProcessId self, ProcessId sender, const InLink& il,
-                    uint64_t nackFrom, uint64_t nackTo) {
+WANMC_HOT void Plane::sendAck(ProcessId self, ProcessId sender,
+                              const InLink& il, uint64_t nackFrom,
+                              uint64_t nackTo) {
+  // wanmc-lint: allow(D5): one AckPacket per DATA arrival; pooled ACKs
+  // ride with the DataPacket arena item above
   auto ack = std::make_shared<AckPacket>();
   ack->cumAck = il.nextExpected;
   ack->nackFrom = nackFrom;
@@ -204,7 +212,8 @@ void Plane::sendAck(ProcessId self, ProcessId sender, const InLink& il,
   rt_.channelSend(self, sender, std::move(ack), Layer::kChannel);
 }
 
-void Plane::handleAck(ProcessId acker, ProcessId self, const AckPacket& a) {
+WANMC_HOT void Plane::handleAck(ProcessId acker, ProcessId self,
+                                const AckPacket& a) {
   if (a.receiverInc != rt_.incarnation(acker)) {
     ++stats_.staleDropped;  // an ACK from the acker's dead incarnation
     return;

@@ -1,0 +1,26 @@
+// WANMC_HOT: the determinism contract's hot-region marker (rule D5).
+//
+// A function marked WANMC_HOT is part of a region the performance contract
+// says must not touch the general heap: the scheduler fire path, the
+// multicast fan-out, and the channel DATA path. The marker is enforced on
+// two independent axes:
+//
+//   * statically  — tools/lint/wanmc_lint.py rule D5 flags non-placement
+//     new, make_unique/make_shared, the malloc family, and std::function
+//     construction inside the marked body; a deliberate exception carries
+//     a `// wanmc-lint: allow(D5): <why>` annotation, which is the review
+//     artifact;
+//   * dynamically — bench_sim_core's operator-new hook counts allocations
+//     per fired event, and scripts/bench.sh gates the ratio (~0.004-0.03
+//     allocs/event at steady state).
+//
+// The macro itself expands to the compiler's hot-path attribute where one
+// exists, so marking a function is never a behavior change — fire order,
+// RNG draws, and fingerprints are untouched.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define WANMC_HOT [[gnu::hot]]
+#else
+#define WANMC_HOT
+#endif

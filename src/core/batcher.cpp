@@ -24,6 +24,8 @@ void BatchPlane::enqueue(ProcessId sender, const AppMsgPtr& m) {
     o.inc = inc;
     o.gen = nextGen_++;
     const uint64_t gen = o.gen;
+    // wanmc-lint: allow(D4): onWindowExpiry checks the batch generation
+    // and the sender incarnation; a dead incarnation's flush is dropped
     o.timer = rt_.scheduler().at(
         rt_.now() + window_, [this, key, gen]() { onWindowExpiry(key, gen); });
     it = open_.emplace(key, std::move(o)).first;

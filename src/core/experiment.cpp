@@ -225,6 +225,7 @@ MsgId Experiment::castAt(SimTime when, ProcessId sender, GroupSet dest,
   // scheduled it. It fires iff the sender is alive AT CAST TIME — a
   // crashed sender casts nothing (as before), a crash-recovered one
   // casts again (same rule as issueWorkloadCast).
+  // wanmc-lint: allow(D4): harness event with alive-at-fire check below
   rt_->scheduler().at(std::max(when, rt_->now()), [this, sender, msg]() {
     if (!rt_->crashed(sender)) dispatchCast(sender, msg);
   });

@@ -63,8 +63,9 @@ uint64_t Runtime::run(SimTime until, uint64_t maxEvents) {
   return sched_.run(until, maxEvents);
 }
 
-void Runtime::multicast(ProcessId from, const std::vector<ProcessId>& tos,
-                        PayloadPtr payload) {
+WANMC_HOT void Runtime::multicast(ProcessId from,
+                                  const std::vector<ProcessId>& tos,
+                                  PayloadPtr payload) {
   assert(payload != nullptr);
   if (crashed(from)) return;  // crash-stop: a crashed process sends nothing
   if (tos.empty()) return;
@@ -157,8 +158,8 @@ void Runtime::setLossRate(double p) {
   lossP_ = p;
 }
 
-void Runtime::channelSend(ProcessId from, ProcessId to, PayloadPtr payload,
-                          Layer accountLayer) {
+WANMC_HOT void Runtime::channelSend(ProcessId from, ProcessId to,
+                                    PayloadPtr payload, Layer accountLayer) {
   assert(payload != nullptr);
   assert(channelHook_ != nullptr);
   if (crashed(from)) return;  // crash between enqueue and (re)transmit
@@ -208,7 +209,7 @@ void Runtime::deliverFromChannel(ProcessId from, ProcessId to,
   nodes_[static_cast<size_t>(to)]->onMessage(from, payload);
 }
 
-void Runtime::deliverCopy(Fanout& f, ProcessId to) {
+WANMC_HOT void Runtime::deliverCopy(Fanout& f, ProcessId to) {
   if (!crashed(to)) {  // to a crashed process: vanishes
     // Receive event (rule 3): the receiver's clock jumps to
     // max(LC, ts(send(m))).

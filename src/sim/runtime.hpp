@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/hot.hpp"
 #include "common/ids.hpp"
 #include "common/message.hpp"
 #include "common/rng.hpp"
@@ -145,8 +146,8 @@ class Runtime {
   // cost model: in the proof of Theorem 4.1, "processes in g_i send (TS, m)
   // to g_{3-i}" is one event with one timestamp, not |g| events. Message
   // *counts* are still per link (one per destination).
-  void multicast(ProcessId from, const std::vector<ProcessId>& tos,
-                 PayloadPtr payload);
+  WANMC_HOT void multicast(ProcessId from, const std::vector<ProcessId>& tos,
+                           PayloadPtr payload);
 
   // Omission-fault injection hook for substrate tests. Return true to drop.
   using DropFilter =
@@ -181,8 +182,8 @@ class Runtime {
   // Lamport clocks: only the ORIGINAL multicast ticks the sender's clock
   // (paper §2.3); retransmissions carry the original stamp inside the
   // channel payload.
-  void channelSend(ProcessId from, ProcessId to, PayloadPtr payload,
-                   Layer accountLayer);
+  WANMC_HOT void channelSend(ProcessId from, ProcessId to, PayloadPtr payload,
+                             Layer accountLayer);
 
   // Final in-order handoff of a channel-carried packet to the hosting node:
   // applies the receive-side Lamport jump to the ORIGINAL `sendTs` and the
@@ -412,7 +413,7 @@ class Runtime {
     f->payload.reset();
     fanoutFree_.push_back(f);
   }
-  void deliverCopy(Fanout& f, ProcessId to);
+  WANMC_HOT void deliverCopy(Fanout& f, ProcessId to);
 
   Topology topo_;
   ArenaPool payloadArena_;  // first: destroyed after nodes and events

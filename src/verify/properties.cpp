@@ -8,8 +8,18 @@ namespace wanmc::verify {
 
 namespace {
 
-std::string pname(ProcessId p) { return "p" + std::to_string(p); }
-std::string mname(MsgId m) { return "m" + std::to_string(m); }
+// Built by append: avoids the GCC 12 -Wrestrict false positive on chained
+// string operator+ (same workaround as standardFaultMatrix's name builder).
+std::string pname(ProcessId p) {
+  std::string s("p");
+  s += std::to_string(p);
+  return s;
+}
+std::string mname(MsgId m) {
+  std::string s("m");
+  s += std::to_string(m);
+  return s;
+}
 
 bool isAddressee(const CheckContext& ctx, ProcessId p, MsgId m) {
   auto it = ctx.trace->destOf.find(m);

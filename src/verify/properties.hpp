@@ -44,7 +44,7 @@ using Violations = std::vector<std::string>;
 // Uniform integrity: every process A-Delivers a message at most once (per
 // incarnation, see above), only if it is an addressee, and only if the
 // message was A-XCast.
-Violations checkUniformIntegrity(const CheckContext& ctx);
+[[nodiscard]] Violations checkUniformIntegrity(const CheckContext& ctx);
 
 // Recovered-process liveness: a message cast strictly after a process's
 // final recovery, addressed to it, and delivered by every correct
@@ -52,27 +52,27 @@ Violations checkUniformIntegrity(const CheckContext& ctx);
 // it is alive for the message's whole lifetime. (Only checkable when the
 // protocol re-integrates amnesiac processes; gate on
 // ProtocolTraits::recoveredRejoins.)
-Violations checkRecoveredDelivery(const CheckContext& ctx);
+[[nodiscard]] Violations checkRecoveredDelivery(const CheckContext& ctx);
 
 // Validity: if a correct process A-XCasts m, every correct addressee
 // eventually A-Delivers m (checked at end of run: "eventually" = "by now").
-Violations checkValidity(const CheckContext& ctx);
+[[nodiscard]] Violations checkValidity(const CheckContext& ctx);
 
 // Uniform agreement: if ANY process (even one that later crashed)
 // A-Delivers m, every correct addressee A-Delivers m.
-Violations checkUniformAgreement(const CheckContext& ctx);
+[[nodiscard]] Violations checkUniformAgreement(const CheckContext& ctx);
 
 // Non-uniform agreement (for the Sousa-et-al. baseline): like uniform
 // agreement but only deliveries by correct processes create obligations.
-Violations checkAgreementCorrectOnly(const CheckContext& ctx);
+[[nodiscard]] Violations checkAgreementCorrectOnly(const CheckContext& ctx);
 
 // Uniform prefix order: for any two processes p,q and the final sequences
 // S_p, S_q projected on messages addressed to both p and q, one projection
 // is a prefix of the other.
-Violations checkUniformPrefixOrder(const CheckContext& ctx);
+[[nodiscard]] Violations checkUniformPrefixOrder(const CheckContext& ctx);
 
 // Prefix order restricted to pairs of correct processes.
-Violations checkPrefixOrderCorrectOnly(const CheckContext& ctx);
+[[nodiscard]] Violations checkPrefixOrderCorrectOnly(const CheckContext& ctx);
 
 // Genuineness (paper §2.2): only the sender and the addressees of cast
 // messages take part in the protocol. Checked over the runtime's per-layer
@@ -82,17 +82,17 @@ struct GenuinenessInput {
   std::set<ProcessId> sentAlgorithmic;
   std::set<ProcessId> receivedAlgorithmic;
 };
-Violations checkGenuineness(const CheckContext& ctx,
+[[nodiscard]] Violations checkGenuineness(const CheckContext& ctx,
                             const GenuinenessInput& in);
 
 // Quiescence: the last algorithmic (non-FD) send happened within
 // `settleBudget` of the last A-XCast. lastAlgoSend < 0 means nothing was
 // ever sent.
-Violations checkQuiescence(const CheckContext& ctx, SimTime lastAlgoSend,
+[[nodiscard]] Violations checkQuiescence(const CheckContext& ctx, SimTime lastAlgoSend,
                            SimTime settleBudget);
 
 // Convenience: run the standard safety suite (integrity + validity +
 // uniform agreement + uniform prefix order) and return all violations.
-Violations checkAtomicSuite(const CheckContext& ctx);
+[[nodiscard]] Violations checkAtomicSuite(const CheckContext& ctx);
 
 }  // namespace wanmc::verify

@@ -86,6 +86,8 @@ void Generator::scheduleArrivalAt(SimTime when) {
   // Clamped to the present: a workload installed mid-run (or a phase
   // computed from a past anchor) must never enqueue an event behind the
   // clock — the scheduler would fire it with a rewound timestamp.
+  // wanmc-lint: allow(D4): external traffic source, not incarnation
+  // state; per-cast crash suppression lives in issueWorkloadCast
   ex_.runtime().scheduler().at(std::max(when, ex_.runtime().now()),
                                Fire{this});
 }

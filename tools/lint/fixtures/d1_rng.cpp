@@ -1,0 +1,20 @@
+// scope: src/fixture/d1_rng.cpp
+// Unseeded / nondeterministic randomness in simulation code: latency
+// jitter drawn here would differ between runs of the same seed.
+// expect: D1
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int jitterMs() {
+  std::random_device rd;                       // D1: hardware entropy
+  std::mt19937 gen(rd());                      // D1: <random> engine
+  return static_cast<int>(gen() % 10);
+}
+
+int cheapJitterMs() {
+  return std::rand() % 10;                     // D1: global-state rand
+}
+
+}  // namespace fixture

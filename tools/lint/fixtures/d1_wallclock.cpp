@@ -1,0 +1,21 @@
+// scope: src/fixture/d1_wallclock.cpp
+// A node that timestamps protocol events with the machine's wall clock:
+// two runs of the same seed would diverge the moment the host hiccups.
+// expect: D1
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long wallStampMicros() {
+  auto now = std::chrono::system_clock::now();  // D1: wall clock
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+long secondsSinceEpoch() {
+  return static_cast<long>(time(nullptr));  // D1: wall clock
+}
+
+}  // namespace fixture

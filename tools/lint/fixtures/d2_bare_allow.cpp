@@ -1,0 +1,19 @@
+// scope: src/fixture/d2_bare_allow.cpp
+// A suppression with no reason is itself a finding: the annotation IS the
+// review artifact, and an empty one documents nothing.
+// expect: D2
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Stats {
+  uint64_t total = 0;
+
+  void fold(const std::unordered_map<int, uint64_t>& counts) {
+    // wanmc-lint: allow(D2)
+    for (const auto& [k, v] : counts) total += v;
+  }
+};
+
+}  // namespace fixture

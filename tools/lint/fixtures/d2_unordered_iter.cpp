@@ -1,0 +1,20 @@
+// scope: src/fixture/d2_unordered_iter.cpp
+// Iterating a hash table while emitting protocol messages: the emission
+// order follows libstdc++'s bucket layout, which depends on pointer
+// values and library version -- straight into the trace fingerprint.
+// expect: D2
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+void sendAll(void (*emit)(int, uint64_t)) {
+  std::unordered_map<int, uint64_t> pendingVotes;
+  pendingVotes[3] = 30;
+  pendingVotes[1] = 10;
+  for (const auto& [pid, ts] : pendingVotes) {  // D2: hash order leaks
+    emit(pid, ts);
+  }
+}
+
+}  // namespace fixture

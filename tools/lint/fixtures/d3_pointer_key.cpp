@@ -1,0 +1,22 @@
+// scope: src/fixture/d3_pointer_key.cpp
+// Pointer-keyed ordered container feeding delivery decisions: std::map
+// over Node* iterates in ADDRESS order, i.e. allocator order -- a
+// different malloc layout reorders deliveries.
+// expect: D3
+#include <map>
+
+namespace fixture {
+
+struct Node {
+  int pid;
+};
+
+struct DeliveryQueue {
+  std::map<Node*, int> waiting;  // D3: address-dependent order
+
+  int next() const {
+    return waiting.empty() ? -1 : waiting.begin()->first->pid;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// scope: src/fixture/d4_raw_timer.cpp
+// A raw Scheduler::at registration in node code: if the process crashes
+// (or crashes and recovers as a fresh incarnation) before the event
+// fires, the callback runs anyway -- into freed or reincarnated state.
+// This is exactly the use-after-free class PR 5 eliminated with
+// TimerGuard; the lint keeps it eliminated.
+// expect: D4
+namespace fixture {
+
+struct Scheduler {
+  template <class F>
+  void at(long when, F&& fn);
+};
+
+struct Runtime {
+  Scheduler& scheduler();
+  long now();
+};
+
+struct RetryingNode {
+  Runtime& rt;
+  int pid;
+
+  void armRetry() {
+    rt.scheduler().at(rt.now() + 500, [this]() {  // D4: unguarded
+      armRetry();
+    });
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// scope: src/fixture/d5_hot_alloc.cpp
+// Heap allocation inside a WANMC_HOT region: one make_shared per fired
+// event turns the 25-30M ev/s scheduler into a malloc benchmark, and
+// allocator jitter is the classic source of "fast machine passes, CI
+// flakes" perf regressions.
+// expect: D5
+#include <memory>
+
+#define WANMC_HOT
+
+namespace fixture {
+
+struct Payload {
+  int bytes[16];
+};
+
+struct FirePath {
+  std::shared_ptr<Payload> last;
+
+  WANMC_HOT void fireOne() {
+    last = std::make_shared<Payload>();  // D5: alloc on the fire path
+  }
+
+  WANMC_HOT void fireOther() {
+    auto* p = new Payload();             // D5: raw new on the fire path
+    last.reset(p);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,57 @@
+// scope: src/fixture/ok_clean.cpp
+// Deterministic idiom the rules must NOT flag: seeded SplitMix64-style
+// RNG, ordered containers keyed by stable ids, guarded timers via the
+// runtime wrapper, allocation-free hot region, placement new, and
+// rule-token lookalikes in comments and strings.
+#include <cstdint>
+#include <map>
+#include <new>
+#include <vector>
+
+#define WANMC_HOT
+
+namespace fixture {
+
+// std::rand() in a comment, and "std::random_device" in a string, are not
+// findings; neither is the member name `runtime` (vs time()).
+inline const char* kBanner = "no std::mt19937 here";
+
+class SeededRng {
+ public:
+  explicit SeededRng(uint64_t seed) : state_(seed) {}
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+struct Runtime {
+  template <class F>
+  void timer(int pid, long delay, F&& fn);  // incarnation-guarded wrapper
+};
+
+struct Node {
+  Runtime& rt;
+  int pid;
+  std::map<int, uint64_t> pendingByMsgId;  // ordered, stable key
+
+  void onStart() {
+    rt.timer(pid, 100, []() {});  // guarded: fine
+    for (const auto& [msg, ts] : pendingByMsgId) (void)msg, (void)ts;
+  }
+};
+
+struct Pool {
+  alignas(8) unsigned char buf[64];
+  std::vector<int> free;
+
+  WANMC_HOT int* fire() {
+    return ::new (static_cast<void*>(buf)) int(7);  // placement: no alloc
+  }
+};
+
+}  // namespace fixture

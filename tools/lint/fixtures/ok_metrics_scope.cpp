@@ -1,0 +1,20 @@
+// scope: src/metrics/fixture_observer.cpp
+// The metrics plane only OBSERVES a finished run: its iteration order can
+// reorder exported rows but never a trace fingerprint, so D2/D3 do not
+// apply there. This fixture pins that scope boundary.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Exporter {
+  std::unordered_map<int, uint64_t> perGroup;
+
+  uint64_t sum() const {
+    uint64_t t = 0;
+    for (const auto& [g, v] : perGroup) t += v;  // exempt scope
+    return t;
+  }
+};
+
+}  // namespace fixture

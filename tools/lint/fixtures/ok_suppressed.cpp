@@ -1,0 +1,59 @@
+// scope: src/fixture/ok_suppressed.cpp
+// Every rule violated once -- and every violation carrying the annotation
+// that makes it reviewable instead of invisible. This fixture must come
+// back CLEAN: it is the positive test of the suppression syntax.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#define WANMC_HOT
+
+namespace fixture {
+
+struct Scheduler {
+  template <class F>
+  void at(long when, F&& fn);
+};
+struct Runtime {
+  Scheduler& scheduler();
+  long now();
+  bool crashed(int pid);
+};
+
+struct Stats {
+  uint64_t total = 0;
+
+  void fold(const std::unordered_map<int, uint64_t>& counts) {
+    // wanmc-lint: allow(D2): commutative sum - order cannot be observed
+    for (const auto& [k, v] : counts) total += v;
+  }
+};
+
+struct Registry {
+  // wanmc-lint: allow(D3): diagnostics only - never feeds a trace
+  std::map<const Stats*, int> debugIndex;
+};
+
+struct Harness {
+  Runtime& rt;
+  int pid;
+
+  void armHarnessEvent() {
+    // wanmc-lint: allow(D4): harness event; checks crashed() at fire time
+    rt.scheduler().at(rt.now() + 10, [this]() {
+      if (rt.crashed(pid)) return;
+    });
+  }
+};
+
+struct ColdStart {
+  std::shared_ptr<Stats> stats;
+
+  WANMC_HOT void setup() {
+    // wanmc-lint: allow(D5): one-time warmup before the measured region
+    stats = std::make_shared<Stats>();
+  }
+};
+
+}  // namespace fixture
