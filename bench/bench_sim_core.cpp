@@ -5,21 +5,24 @@
 // open-loop workload storm with the streaming metrics recorder off AND on
 // (their ratio is the recorder-overhead figure), the same storm with the
 // reliable channel substrate off AND on (the per-event throughput ratio is
-// the channel-overhead figure), the batch-size ladder (batching off /
-// max 8 / max 64 — the batch64/batch0 goodput ratio is the amortization
-// headline), and the 100-seed sweep wall-clock (serial and thread-pool;
-// the thread-pool leg is marked skipped on a single-core box) — and emits
-// a machine-readable JSON report (BENCH_PR7.json is the checked-in
-// baseline). Allocation counts come from a global operator new hook, so
-// every figure carries an allocs-per-event column.
+// the channel-overhead figure), the storm with the bootstrap plane armed
+// but idle (the fault-free cost of keeping every process rejoin-capable),
+// the batch-size ladder (batching off / max 8 / max 64 — the batch64/
+// batch0 goodput ratio is the amortization headline), and the 100-seed
+// sweep wall-clock (serial and thread-pool; the thread-pool leg is marked
+// skipped on a single-core box) — and emits a machine-readable JSON report
+// (BENCH_PR9.json is the checked-in baseline). Allocation counts come from
+// a global operator new hook, so every figure carries an allocs-per-event
+// column.
 //
 //   bench_sim_core [--quick] [--jobs N] [--out FILE] [--check BASELINE]
 //
 // --quick   reduced iteration budget (CI smoke).
 // --check   compare events/sec fields against a baseline JSON; exit 1 if
 //           any rate regressed by more than 20%, if the metrics recorder
-//           costs more than 5% of sim-core events/sec, or if the channel
-//           substrate costs more than 10% per fired event.
+//           or the idle bootstrap plane costs more than 5% of sim-core
+//           events/sec, or if the channel substrate costs more than 10%
+//           per fired event.
 //           Wall-clock fields are machine-dependent and are NOT gated.
 //
 // Intentionally free of the google-benchmark dependency: it must build and
@@ -350,7 +353,7 @@ Result benchHeartbeatStorm(int repeats) {
 // of runs is the recorder-overhead measurement.
 uint64_t runOpenLoopStorm(int casts, bool metrics,
                           wanmc::SimTime batchWindow = 0, int batchMax = 0,
-                          bool channels = false) {
+                          bool channels = false, bool bootstrap = false) {
   wanmc::core::RunConfig cfg;
   cfg.groups = 3;
   cfg.procsPerGroup = 3;
@@ -362,6 +365,7 @@ uint64_t runOpenLoopStorm(int casts, bool metrics,
   cfg.stack.batchWindow = batchWindow;
   cfg.stack.batchMaxSize = batchMax;
   cfg.stack.reliableChannels = channels;
+  cfg.stack.bootstrap.armed = bootstrap;
   cfg.workload =
       wanmc::workload::Spec::openLoopPoisson(casts, 3 * wanmc::kMs, 2);
   wanmc::core::Experiment ex(cfg);
@@ -482,6 +486,59 @@ Result benchChannelOverheadPair(int casts, int repeats,
   return r;
 }
 
+// 6c. Bootstrap-overhead pair (PR 9): the identical open-loop storm with
+// the bootstrap plane armed but idle (no crash ever happens, so no rejoin
+// handshake runs). Arming builds the per-process plane and threads the
+// snapshot hooks through every stack — the pair bounds what fault-free
+// runs pay for keeping every process rejoin-capable. Interleaved off/on
+// pairs like the metrics pair (median reported, cleanest-pair floor
+// gated at 5%: an idle plane must stay off the hot path).
+Result benchBootstrapOverheadPair(int casts, int repeats,
+                                  OverheadPair* overheadOut) {
+  std::vector<Sample> on;
+  uint64_t firedOn = 0;
+  std::vector<double> ratios;
+  for (int r = 0; r < repeats; ++r) {
+    double rate[2] = {0, 0};
+    for (bool bootstrap : {false, true}) {
+      uint64_t fired = 0;
+      auto s = measure(
+          [&] {
+            fired = runOpenLoopStorm(casts, /*metrics=*/false,
+                                     /*batchWindow=*/0, /*batchMax=*/0,
+                                     /*channels=*/false, bootstrap);
+          },
+          1);
+      if (s.front().secs > 0)
+        rate[bootstrap ? 1 : 0] =
+            static_cast<double>(fired) / s.front().secs;
+      if (bootstrap) {
+        on.push_back(s.front());
+        firedOn = fired;
+      }
+    }
+    if (rate[0] > 0 && rate[1] > 0) ratios.push_back(rate[1] / rate[0]);
+  }
+  if (!ratios.empty()) {
+    std::sort(ratios.begin(), ratios.end());
+    overheadOut->median = 1.0 - ratios[ratios.size() / 2];
+    overheadOut->floor = 1.0 - ratios.back();
+  }
+  Result r;
+  r.name = "open_loop_storm_bootstrap";
+  r.note = "A1 3x3 WAN, Poisson arrivals mean 3ms, " +
+           std::to_string(casts) +
+           " casts, bootstrap plane armed, no recoveries";
+  const Sample& m = bestOf(on);
+  r.eventsPerSec = static_cast<double>(firedOn) / m.secs;
+  r.allocsPerEvent =
+      static_cast<double>(m.allocs) / static_cast<double>(firedOn);
+  r.wallMs = m.secs * 1e3;
+  r.normRate = normRate(on, static_cast<double>(firedOn));
+  r.normBest = peakNorm(on, static_cast<double>(firedOn));
+  return r;
+}
+
 // 7. Batch ladder (PR 6): the identical open-loop storm under the batching
 // plane at rising batch sizes. Batching amortizes the per-cast ordering
 // cost (one protocol instance per carrier instead of per cast), so the
@@ -565,7 +622,7 @@ std::vector<Result> benchDetMergeSweep(int seeds, int jobs, int repeats) {
 void writeJson(const std::string& path, const std::vector<Result>& results,
                bool quick, int jobs, unsigned hardwareConcurrency,
                double metricsOverhead, double batchGoodputX64,
-               double channelOverhead) {
+               double channelOverhead, double bootstrapOverhead) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"wanmc-bench-v1\",\n";
@@ -575,6 +632,7 @@ void writeJson(const std::string& path, const std::vector<Result>& results,
   os << "  \"metrics_overhead\": " << metricsOverhead << ",\n";
   os << "  \"batch_goodput_x64\": " << batchGoodputX64 << ",\n";
   os << "  \"channel_overhead\": " << channelOverhead << ",\n";
+  os << "  \"bootstrap_overhead\": " << bootstrapOverhead << ",\n";
   os << "  \"benches\": {\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -732,6 +790,10 @@ int main(int argc, char** argv) {
   OverheadPair channelOverhead;
   results.push_back(benchChannelOverheadPair(
       quick ? 400 : 2000, std::max(repeats, 5), &channelOverhead));
+  // And for the bootstrap plane, armed but idle (5% gate).
+  OverheadPair bootstrapOverhead;
+  results.push_back(benchBootstrapOverheadPair(
+      quick ? 400 : 2000, std::max(repeats, 5), &bootstrapOverhead));
   double batchGoodputX64 = 0;
   for (auto& r : benchBatchLadder(quick ? 400 : 2000, repeats,
                                   &batchGoodputX64))
@@ -761,9 +823,19 @@ int main(int argc, char** argv) {
                "cleanest pair (gate %g%% on the latter)\n",
                channelOverhead.median * 100, channelOverhead.floor * 100,
                kMaxChannelOverhead * 100);
+  // Bootstrap-overhead figure (PR 9): per-event throughput with the
+  // bootstrap plane armed-but-idle vs off. Gated at the recorder's 5%:
+  // with no recovery in the run, the plane must stay off the hot path.
+  constexpr double kMaxBootstrapOverhead = 0.05;
+  std::fprintf(stderr,
+               "bootstrap_overhead: %.2f%% of events/sec median, %.2f%% "
+               "cleanest pair (gate %g%% on the latter)\n",
+               bootstrapOverhead.median * 100, bootstrapOverhead.floor * 100,
+               kMaxBootstrapOverhead * 100);
 
   writeJson(out, results, quick, jobs, std::thread::hardware_concurrency(),
-            metricsOverhead.median, batchGoodputX64, channelOverhead.median);
+            metricsOverhead.median, batchGoodputX64, channelOverhead.median,
+            bootstrapOverhead.median);
   if (!baseline.empty()) {
     int rc = checkAgainstBaseline(baselineText, results);
     if (metricsOverhead.floor > kMaxMetricsOverhead) {
@@ -778,6 +850,14 @@ int main(int argc, char** argv) {
                    "check channel_overhead : cleanest-pair overhead %.2f%% "
                    "exceeds the %g%% budget REGRESSED\n",
                    channelOverhead.floor * 100, kMaxChannelOverhead * 100);
+      rc = 1;
+    }
+    if (bootstrapOverhead.floor > kMaxBootstrapOverhead) {
+      std::fprintf(stderr,
+                   "check bootstrap_overhead : cleanest-pair overhead "
+                   "%.2f%% exceeds the %g%% budget REGRESSED\n",
+                   bootstrapOverhead.floor * 100,
+                   kMaxBootstrapOverhead * 100);
       rc = 1;
     }
     return rc;

@@ -38,6 +38,14 @@
 //                             `untilMs` = "never" keeps the cut
 //                             (repeatable). Bad pids/groups/windows are
 //                             rejected up front, not silently ignored.
+//   --churn <pid>:<periodMs>  continuous crash/recover cycling: <pid>
+//                             crashes at k*period and rejoins half a
+//                             period later, for every k >= 1 inside the
+//                             arrival schedule. Arms the bootstrap plane
+//                             (state transfer) and the consensus round
+//                             timeout. Validated like --crash: bad pids
+//                             and periods that fit no cycle are rejected
+//                             up front (repeatable).
 //
 // `sweep` flags: --points K, --casts M, --cap C, --seeds S, --jobs J,
 // --interval-max-ms / --interval-min-ms (ladder endpoints), plus
@@ -346,6 +354,7 @@ int main(int argc, char** argv) {
   std::string csvOut;
   std::vector<std::pair<ProcessId, SimTime>> crashes;
   std::vector<std::pair<ProcessId, SimTime>> recoveries;
+  std::vector<std::pair<ProcessId, SimTime>> churns;  // pid -> cycle period
   std::vector<PartitionArg> partitions;
 
   for (int i = 1; i < argc; ++i) {
@@ -412,6 +421,14 @@ int main(int argc, char** argv) {
       recoveries.push_back(parsePidAtMs(next(), "--recover"));
     } else if (arg == "--partition") {
       partitions.push_back(parsePartition(next()));
+    } else if (arg == "--churn") {
+      const auto parsed = parsePidAtMs(next(), "--churn");
+      if (parsed.second <= 0) {
+        std::fprintf(stderr, "--churn: period must be positive, got %lldms\n",
+                     static_cast<long long>(parsed.second / kMs));
+        return 2;
+      }
+      churns.push_back(parsed);
     } else if (arg == "--help") {
       std::printf("usage: wanmc_cli [sweep] [--protocol P] [--groups N] "
                   "[--procs D] "
@@ -423,7 +440,8 @@ int main(int argc, char** argv) {
                   "[--seed S] [--inter-ms L] [--intra-us U] "
                   "[--batch-window MS] [--batch-max N] [--loss P] "
                   "[--reliable-channels] [--crash pid:ms] "
-                  "[--recover pid:ms] [--partition g,g:fromMs:untilMs|never] "
+                  "[--recover pid:ms] [--churn pid:periodMs] "
+                  "[--partition g,g:fromMs:untilMs|never] "
                   "[--format summary|deliveries|latency] "
                   "[--json-out FILE] [--csv-out FILE]\n"
                   "       wanmc_cli sweep --help   for the sweep flags\n");
@@ -436,8 +454,33 @@ int main(int argc, char** argv) {
 
   // Recovery runs need the consensus round timeout armed (see
   // StackConfig::consensusRoundTimeout) — same default ScenarioRunner uses.
-  if (!recoveries.empty() && cfg.stack.consensusRoundTimeout == 0)
+  if ((!recoveries.empty() || !churns.empty()) &&
+      cfg.stack.consensusRoundTimeout == 0)
     cfg.stack.consensusRoundTimeout = 500 * kMs;
+  // Churned processes rejoin over the state-transfer handshake; without it
+  // the fresh incarnations would sit amnesiac for the rest of the run.
+  if (!churns.empty()) cfg.stack.bootstrap.armed = true;
+
+  // Expand each churn plan into explicit crash/recover cycles spanning the
+  // arrival schedule: crash at k*period, rejoin half a period later. A
+  // period that fits no full cycle is a schedule typo, not a quiet no-op.
+  for (auto [pid, period] : churns) {
+    int cycles = 0;
+    for (SimTime t = period; t + period / 2 < spec.nominalEnd();
+         t += period) {
+      crashes.emplace_back(pid, t);
+      recoveries.emplace_back(pid, t + period / 2);
+      ++cycles;
+    }
+    if (cycles == 0) {
+      std::fprintf(stderr,
+                   "--churn: period %lldms fits no crash/recover cycle "
+                   "inside the arrival schedule (ends at %lldms)\n",
+                   static_cast<long long>(period / kMs),
+                   static_cast<long long>(spec.nominalEnd() / kMs));
+      return 2;
+    }
+  }
 
   if (cfg.lossRate < 0 || cfg.lossRate >= 1) {
     std::fprintf(stderr, "--loss must be in [0,1), got %g\n", cfg.lossRate);

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Simulator hot-path benchmark runner.
 #
-#   scripts/bench.sh                     full run, writes BENCH_PR7.json
+#   scripts/bench.sh                     full run, writes BENCH_PR9.json
 #   scripts/bench.sh --quick             reduced budget (CI smoke)
 #   scripts/bench.sh --check FILE        also gate events/sec against FILE
 #                                        (exit 1 on >20% regression, on
-#                                        metrics-recorder overhead >5%, or
-#                                        on channel-substrate overhead >10%)
+#                                        metrics-recorder or idle-bootstrap
+#                                        overhead >5%, or on
+#                                        channel-substrate overhead >10%)
 #   OUT=path scripts/bench.sh            write the report elsewhere
 #
 # All flags are passed through to bench_sim_core (--jobs N, etc.).
@@ -23,7 +24,7 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ -z "${OUT:-}" ]]; then
   case " $* " in
     *" --check "*) OUT="$BUILD_DIR/bench_report.json" ;;
-    *)             OUT="BENCH_PR7.json" ;;
+    *)             OUT="BENCH_PR9.json" ;;
   esac
 fi
 

@@ -57,6 +57,7 @@ void A2Node::xcast(const AppMsgPtr& m) {
 }
 
 void A2Node::tryPropose() {
+  if (joining()) return;  // rejoin in progress: no proposal initiation
   // line 11: ((RDELIVERED \ ADELIVERED) != {} or K <= Barrier) and propK <= K
   if (propK_ > K_) return;
   if (rdelivered_.empty() && K_ > barrier_) return;
@@ -76,6 +77,7 @@ void A2Node::onDecided(consensus::Instance k, const ConsensusValue& v) {
 }
 
 void A2Node::drainDecisions() {
+  if (joining()) return;  // decisions buffer until the snapshot install
   while (!awaitingBundles_) {
     auto it = decisionBuffer_.find(K_);
     if (it == decisionBuffer_.end()) return;
@@ -111,6 +113,7 @@ void A2Node::onProtocolMessage(ProcessId /*from*/, const PayloadPtr& p) {
 }
 
 void A2Node::tryCompleteRound() {
+  if (joining()) return;  // the suffix replay owns the delivery prefix
   if (!awaitingBundles_) return;
   // line 16: one bundle from every group (ours is already in).
   const auto& byGroup = msgs_[K_];
@@ -154,6 +157,91 @@ void A2Node::tryCompleteRound() {
 
   tryPropose();
   drainDecisions();
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap snapshot surface.
+// ---------------------------------------------------------------------------
+
+uint64_t A2Node::BootState::approxBytes() const {
+  uint64_t b = 24;  // the three clocks
+  for (const auto& [id, m] : rdeliveredMsgs) b += 40 + m->body.size();
+  b += 8 * adelivered.size();
+  for (const auto& [r, byGroup] : msgs)
+    for (const auto& [g, bundle] : byGroup) b += 16 + 24 * bundle.size();
+  for (const auto& [k, bundle] : decisionBuffer) b += 8 + 24 * bundle.size();
+  return b;
+}
+
+std::shared_ptr<bootstrap::ProtocolState> A2Node::snapshotProtocolState()
+    const {
+  auto s = std::make_shared<BootState>();
+  s->K = K_;
+  s->propK = propK_;
+  s->barrier = barrier_;
+  s->rdelivered = rdelivered_;
+  s->rdeliveredMsgs = rdeliveredMsgs_;
+  s->adelivered = adelivered_;
+  s->msgs = msgs_;
+  s->decisionBuffer = decisionBuffer_;
+  s->awaitingBundles = awaitingBundles_;
+  return s;
+}
+
+void A2Node::installProtocolState(const bootstrap::Snapshot& snap) {
+  const auto* s = dynamic_cast<const BootState*>(snap.protocol.get());
+  if (s == nullptr) return;
+  // Merge, never clobber. Rounds are lockstep across groups, so the round
+  // clocks, the A-Delivered set and the bundle table are meaningful from
+  // any donor; bundles that arrived during the joining window survive
+  // (fill-if-absent, like the wire path).
+  K_ = std::max(K_, s->K);
+  barrier_ = std::max(barrier_, s->barrier);
+  adelivered_.insert(s->adelivered.begin(), s->adelivered.end());
+  for (const auto& [r, byGroup] : s->msgs)
+    for (const auto& [g, bundle] : byGroup) {
+      auto& slot = msgs_[r][g];
+      if (slot.empty()) slot = bundle;
+    }
+  if (snap.donorGroup == gid()) {
+    // Group-scoped pieces: the R-Delivered working set, the buffered
+    // group-consensus decisions and the proposal clock describe the
+    // donor's OWN group — only a groupmate's apply here.
+    propK_ = std::max(propK_, s->propK);
+    for (const auto& [id, m] : s->rdeliveredMsgs)
+      if (adelivered_.count(id) == 0) {
+        rdelivered_.insert(id);
+        rdeliveredMsgs_[id] = m;
+      }
+    for (const auto& [k, bundle] : s->decisionBuffer)
+      decisionBuffer_.emplace(k, bundle);
+  }
+  // Messages R-Delivered during the joining window that the donor already
+  // A-Delivered leave the working set: the suffix replay delivers them.
+  for (MsgId id : s->adelivered) {
+    rdelivered_.erase(id);
+    rdeliveredMsgs_.erase(id);
+  }
+  // awaitingBundles_ asserts "round K_'s own-group bundle is decided and
+  // sits in msgs_[K_][gid()]". The donor's flag speaks about ITS group's
+  // slot — adopting it from a cross-group donor would stall drainDecisions
+  // forever — so derive it from the merged table instead.
+  const auto rIt = msgs_.find(K_);
+  awaitingBundles_ = rIt != msgs_.end() && rIt->second.count(gid()) != 0;
+  // Rounds and decisions below the merged clock can never be consumed —
+  // drop them instead of leaking.
+  msgs_.erase(msgs_.begin(), msgs_.lower_bound(K_));
+  decisionBuffer_.erase(decisionBuffer_.begin(),
+                        decisionBuffer_.lower_bound(K_));
+}
+
+void A2Node::resumeAfterInstall() {
+  // Round K_ may already be completable from the merged bundle table; then
+  // drain decisions buffered during the window and rejoin the proposal
+  // loop (K_ <= barrier_ restarts rounds even with an empty working set).
+  tryCompleteRound();
+  drainDecisions();
+  tryPropose();
 }
 
 }  // namespace wanmc::abcast

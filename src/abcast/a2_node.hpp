@@ -95,7 +95,29 @@ class A2Node : public core::XcastNode {
     return true;
   }
 
+  // Bootstrap snapshot surface: round/barrier clocks, the
+  // RDELIVERED-minus-ADELIVERED working set, buffered bundles and
+  // decisions. Inherited
+  // unchanged by ViaBcastNode (donor and rejoiner run the same stack).
+  [[nodiscard]] std::shared_ptr<bootstrap::ProtocolState>
+  snapshotProtocolState() const override;
+  void installProtocolState(const bootstrap::Snapshot& s) override;
+  void resumeAfterInstall() override;
+
  private:
+  struct BootState final : bootstrap::ProtocolState {
+    uint64_t K = 1;
+    uint64_t propK = 1;
+    uint64_t barrier = 0;
+    std::set<MsgId> rdelivered;
+    std::map<MsgId, AppMsgPtr> rdeliveredMsgs;
+    std::set<MsgId> adelivered;
+    std::map<uint64_t, std::map<GroupId, MsgBundle>> msgs;
+    std::map<consensus::Instance, MsgBundle> decisionBuffer;
+    bool awaitingBundles = false;
+    [[nodiscard]] uint64_t approxBytes() const override;
+  };
+
   // Task 4 guard (line 11).
   void tryPropose();
   // Predictor hook: called at the end of an EMPTY round; returns true if

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
+#include <set>
 
 namespace wanmc::abcast {
 
@@ -37,30 +39,37 @@ void MergeNode::tick() {
   // Heartbeats are for IDLE publishers ([1]): a publisher that sent a data
   // event within the last period stays silent — the data already advanced
   // its frontier, and a redundant heartbeat would tick the Lamport clock
-  // past the publisher's own delivery of that data.
-  if (now() == 0 || now() - lastSentAt_ >= opts_.heartbeatPeriod) {
-    const uint64_t ts = nowTick();
-    lastSentAt_ = now();
-    auto hb = makeEvent(true, nullptr, ts);
-    sendToMany(others_, hb);
-    advanceStream(pid(), hb);
+  // past the publisher's own delivery of that data. A JOINING publisher
+  // stays silent too: until the install hands over the dead incarnation's
+  // seq counter, anything it published would collide with that stream.
+  if (!joining() &&
+      (now() == 0 || now() - lastSentAt_ >= opts_.heartbeatPeriod)) {
+    publish(/*heartbeat=*/true, nullptr);
   }
   timer(opts_.heartbeatPeriod, [this]() { tick(); });
 }
 
-void MergeNode::xcast(const AppMsgPtr& m) {
-  recordXcast(m);
-  // Data events are stamped with the CURRENT tick: several events of one
+void MergeNode::publish(bool heartbeat, const AppMsgPtr& msg) {
+  // Events are stamped with the CURRENT tick: several events of one
   // publisher may share a tick and are ordered by their event counter.
   const uint64_t ts = nowTick();
   lastSentAt_ = now();
-  auto data = makeEvent(false, m, ts);
+  auto ev = makeEvent(heartbeat, msg, ts);
   // [1]'s model has publishers cast to EVERY subscriber (that is what keeps
   // every stream frontier moving); in multicast mode non-addressees receive
   // the event but only use it as a frontier advance — advanceStream filters
   // the merge buffer by addressee.
-  sendToMany(others_, data);
-  advanceStream(pid(), data);
+  sendToMany(others_, ev);
+  advanceStream(pid(), ev);
+}
+
+void MergeNode::xcast(const AppMsgPtr& m) {
+  recordXcast(m);
+  if (joining()) {
+    deferredCasts_.push_back(m);  // published at install, seq-continued
+    return;
+  }
+  publish(/*heartbeat=*/false, m);
 }
 
 void MergeNode::onProtocolMessage(ProcessId from, const PayloadPtr& p) {
@@ -102,6 +111,7 @@ void MergeNode::advanceStream(ProcessId pub, const PayloadPtr& p) {
 }
 
 void MergeNode::tryDeliver() {
+  if (joining()) return;  // streams buffer; the merge waits for install
   // A buffered event (ts, P, seq) is deliverable once no event that sorts
   // before it can still arrive. Publishers stamp nondecreasing ticks, so a
   // publisher Q can still produce events with timestamp equal to its
@@ -126,6 +136,76 @@ void MergeNode::tryDeliver() {
     mergeBuf_.erase(it);
     adeliver(m);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap snapshot surface.
+// ---------------------------------------------------------------------------
+
+uint64_t MergeNode::BootState::approxBytes() const {
+  uint64_t b = 0;
+  for (const Stream& s : streams) b += 24 + 32 * s.buffered.size();
+  for (const auto& [key, m] : mergeBuf) b += 32 + m->body.size();
+  return b;
+}
+
+std::shared_ptr<bootstrap::ProtocolState> MergeNode::snapshotProtocolState()
+    const {
+  auto s = std::make_shared<BootState>();
+  s->streams = streams_;
+  s->mergeBuf = mergeBuf_;
+  return s;
+}
+
+void MergeNode::installProtocolState(const bootstrap::Snapshot& snap) {
+  const auto* s = dynamic_cast<const BootState*>(snap.protocol.get());
+  if (s == nullptr || s->streams.size() != streams_.size()) return;
+  // Per-publisher stream merge: whichever side is further along wins, the
+  // other side's out-of-order holdings graft on beyond the frontier.
+  for (size_t q = 0; q < streams_.size(); ++q) {
+    Stream& l = streams_[q];
+    const Stream& d = s->streams[q];
+    if (d.nextSeq > l.nextSeq) {
+      auto keep = std::move(l.buffered);
+      l = d;
+      for (auto& [seq, ev] : keep)
+        if (seq >= l.nextSeq) l.buffered.emplace(seq, std::move(ev));
+    } else {
+      for (const auto& [seq, ev] : d.buffered)
+        if (seq >= l.nextSeq) l.buffered.emplace(seq, ev);
+    }
+    // The graft may have closed a gap.
+    while (true) {
+      auto it = l.buffered.find(l.nextSeq);
+      if (it == l.buffered.end()) break;
+      applyEvent(static_cast<ProcessId>(q), l, *it->second);
+      l.buffered.erase(it);
+    }
+  }
+  for (const auto& [key, m] : s->mergeBuf) mergeBuf_.emplace(key, m);
+  // Events the donor already merged out may still sit in our buffer (they
+  // arrived during the joining window); the suffix replay covers them.
+  std::set<MsgId> done;
+  for (const AppMsgPtr& m : snap.suffix) done.insert(m->id);
+  for (auto it = mergeBuf_.begin(); it != mergeBuf_.end();)
+    it = done.count(it->second->id) ? mergeBuf_.erase(it) : std::next(it);
+  // The publisher handoff: continue the dead incarnation's event counter
+  // past everything any subscriber could have seen of it.
+  const Stream& self = streams_[static_cast<size_t>(pid())];
+  uint64_t seq = std::max(pubSeq_, self.nextSeq);
+  if (!self.buffered.empty()) seq = std::max(seq, self.buffered.rbegin()->first + 1);
+  pubSeq_ = seq;
+}
+
+void MergeNode::resumeAfterInstall() {
+  // Flush casts deferred during the joining window; if there were none,
+  // publish a heartbeat immediately — subscribers' merges are stalled on
+  // this stream's frontier and need not wait out a full period.
+  auto deferred = std::move(deferredCasts_);
+  deferredCasts_.clear();
+  for (const AppMsgPtr& m : deferred) publish(/*heartbeat=*/false, m);
+  if (deferred.empty()) publish(/*heartbeat=*/true, nullptr);
+  tryDeliver();
 }
 
 }  // namespace wanmc::abcast

@@ -63,6 +63,15 @@ class MergeNode final : public core::XcastNode {
  protected:
   void onProtocolMessage(ProcessId from, const PayloadPtr& p) override;
 
+  // Bootstrap snapshot surface. The critical carry-over is the publisher
+  // counter: the rejoiner resumes publishing at the seq its dead
+  // incarnation reached (as observed by the donor), so subscribers'
+  // re-sequencers accept the new stream as the continuation of the old.
+  [[nodiscard]] std::shared_ptr<bootstrap::ProtocolState>
+  snapshotProtocolState() const override;
+  void installProtocolState(const bootstrap::Snapshot& s) override;
+  void resumeAfterInstall() override;
+
  private:
   struct Stream {
     uint64_t nextSeq = 0;      // next contiguous event expected
@@ -73,7 +82,15 @@ class MergeNode final : public core::XcastNode {
     std::map<uint64_t, std::shared_ptr<const MergePayload>> buffered;
   };
 
+  struct BootState final : bootstrap::ProtocolState {
+    std::vector<Stream> streams;
+    std::map<std::tuple<uint64_t, ProcessId, uint64_t>, AppMsgPtr> mergeBuf;
+    [[nodiscard]] uint64_t approxBytes() const override;
+  };
+
   void tick();
+  // Publish one event (data or heartbeat) from this process's stream.
+  void publish(bool heartbeat, const AppMsgPtr& msg);
   // `p` must hold a MergePayload. The in-order fast path reads it by
   // reference without copying the shared_ptr (no refcount traffic); only
   // the out-of-order slow path retains a reference.
@@ -93,6 +110,10 @@ class MergeNode final : public core::XcastNode {
   std::vector<Stream> streams_;    // dense, indexed by publisher pid
   // Merge buffer: (eventTs, publisher, seq) -> message.
   std::map<std::tuple<uint64_t, ProcessId, uint64_t>, AppMsgPtr> mergeBuf_;
+  // Casts issued while joining: publishing them with a pre-handoff seq
+  // would collide with the dead incarnation's stream at every subscriber,
+  // so they wait for the install and publish with continued seqs.
+  std::vector<AppMsgPtr> deferredCasts_;
 };
 
 }  // namespace wanmc::abcast

@@ -1,6 +1,8 @@
 #include "abcast/sequencer_node.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
 
 namespace wanmc::abcast {
 
@@ -79,6 +81,9 @@ void SequencerNode::onProtocolMessage(ProcessId from, const PayloadPtr& p) {
 }
 
 void SequencerNode::maybeSequence() {
+  // A joining node never sequences: it may not know every number the dead
+  // incarnation's sequencer already handed out.
+  if (joining()) return;
   if (currentSequencer() != pid()) return;
   // Assign sequence numbers to every known-but-unsequenced message, in
   // message-id order for determinism within a batch.
@@ -97,6 +102,7 @@ void SequencerNode::maybeSequence() {
 }
 
 void SequencerNode::tryFinalDeliver() {
+  if (joining()) return;  // data/sn/echoes buffer; delivery waits
   const size_t majority =
       static_cast<size_t>(topology().numProcesses()) / 2 + 1;
   for (auto it = assigned_.find(nextDeliver_); it != assigned_.end();
@@ -110,6 +116,58 @@ void SequencerNode::tryFinalDeliver() {
     ++nextDeliver_;
     adeliver(d->second);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap snapshot surface.
+// ---------------------------------------------------------------------------
+
+uint64_t SequencerNode::BootState::approxBytes() const {
+  uint64_t b = 16;
+  for (const auto& [id, m] : data) b += 32 + m->body.size();
+  for (const auto& [id, es] : echoes) b += 8 + 8 * es.size();
+  b += 16 * (assigned.size() + snOf.size()) + 8 * unsequenced.size();
+  return b;
+}
+
+std::shared_ptr<bootstrap::ProtocolState>
+SequencerNode::snapshotProtocolState() const {
+  auto s = std::make_shared<BootState>();
+  s->data = data_;
+  s->echoes = echoes_;
+  s->assigned = assigned_;
+  s->snOf = snOf_;
+  s->unsequenced = unsequenced_;
+  s->nextSn = nextSn_;
+  s->nextDeliver = nextDeliver_;
+  return s;
+}
+
+void SequencerNode::installProtocolState(const bootstrap::Snapshot& snap) {
+  const auto* s = dynamic_cast<const BootState*>(snap.protocol.get());
+  if (s == nullptr) return;
+  for (const auto& [id, m] : s->data) data_.emplace(id, m);
+  for (const auto& [id, es] : s->echoes)
+    echoes_[id].insert(es.begin(), es.end());
+  // Assignments are sequencer-issued and globally consistent: fill-if-
+  // absent in either direction.
+  for (const auto& [sn, id] : s->assigned) assigned_.emplace(sn, id);
+  for (const auto& [id, sn] : s->snOf) snOf_.emplace(id, sn);
+  unsequenced_.insert(s->unsequenced.begin(), s->unsequenced.end());
+  for (auto it = unsequenced_.begin(); it != unsequenced_.end();)
+    it = snOf_.count(*it) ? unsequenced_.erase(it) : std::next(it);
+  // The handoff: never reuse a number the donor saw assigned, even numbers
+  // the dead incarnation handed out moments before crashing (they reached
+  // the donor by serve time).
+  nextSn_ = std::max({nextSn_, s->nextSn,
+                      assigned_.empty() ? 0 : assigned_.rbegin()->first + 1});
+  // The suffix replay covers exactly sn 0 .. nextDeliver-1 of the donor.
+  nextDeliver_ = std::max(nextDeliver_, s->nextDeliver);
+}
+
+void SequencerNode::resumeAfterInstall() {
+  maybeSequence();
+  tryFinalDeliver();
 }
 
 }  // namespace wanmc::abcast

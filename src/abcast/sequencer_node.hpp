@@ -66,7 +66,26 @@ class SequencerNode final : public core::XcastNode {
  protected:
   void onProtocolMessage(ProcessId from, const PayloadPtr& p) override;
 
+  // Bootstrap snapshot surface. Carries the sequencer handoff: nextSn is
+  // re-based past every assignment the donor has seen, so a recovered
+  // process that becomes (or returns as) sequencer never reuses a number.
+  [[nodiscard]] std::shared_ptr<bootstrap::ProtocolState>
+  snapshotProtocolState() const override;
+  void installProtocolState(const bootstrap::Snapshot& s) override;
+  void resumeAfterInstall() override;
+
  private:
+  struct BootState final : bootstrap::ProtocolState {
+    std::map<MsgId, AppMsgPtr> data;
+    std::map<MsgId, std::set<ProcessId>> echoes;
+    std::map<uint64_t, MsgId> assigned;
+    std::map<MsgId, uint64_t> snOf;
+    std::set<MsgId> unsequenced;
+    uint64_t nextSn = 0;
+    uint64_t nextDeliver = 0;
+    [[nodiscard]] uint64_t approxBytes() const override;
+  };
+
   [[nodiscard]] ProcessId currentSequencer() const;
   [[nodiscard]] std::vector<ProcessId> everyoneElse() const {
     std::vector<ProcessId> out;

@@ -33,6 +33,7 @@ void A1Node::noteMessage(const AppMsgPtr& m) {
 }
 
 void A1Node::tryPropose() {
+  if (joining()) return;  // rejoin in progress: no proposal initiation
   if (propK_ > K_) return;  // one proposal per instance (line 14)
   A1EntrySet set;
   for (const auto& [id, p] : pending_) {
@@ -56,6 +57,10 @@ void A1Node::drainDecisions() {
   // Decisions are applied in group-clock order: the sequence of instances a
   // group executes is the same on all members (paper Lemma A.1), but a
   // member that lags can receive the DECIDE for instance k' > K_ early.
+  // While joining, decisions only accumulate in the buffer: applying one
+  // against the amnesiac clock could A-Deliver before the snapshot lands,
+  // making the suffix replay a within-incarnation duplicate.
+  if (joining()) return;
   for (auto it = decisionBuffer_.find(K_); it != decisionBuffer_.end();
        it = decisionBuffer_.find(K_)) {
     A1EntrySet entries = std::move(it->second);
@@ -185,6 +190,74 @@ void A1Node::adeliveryTest() {
     tsProposals_.erase(bestId);
     adeliver(m);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap snapshot surface.
+// ---------------------------------------------------------------------------
+
+uint64_t A1Node::BootState::approxBytes() const {
+  uint64_t b = 16;  // the two clocks
+  for (const auto& [id, p] : pending) b += 40 + p.msg->body.size();
+  b += 8 * adelivered.size();
+  for (const auto& [id, ps] : tsProposals) b += 8 + 16 * ps.size();
+  for (const auto& [k, es] : decisionBuffer) b += 8 + 48 * es.size();
+  return b;
+}
+
+std::shared_ptr<bootstrap::ProtocolState> A1Node::snapshotProtocolState()
+    const {
+  auto s = std::make_shared<BootState>();
+  s->K = K_;
+  s->propK = propK_;
+  s->pending = pending_;
+  s->adelivered = adelivered_;
+  s->tsProposals = tsProposals_;
+  s->decisionBuffer = decisionBuffer_;
+  return s;
+}
+
+void A1Node::installProtocolState(const bootstrap::Snapshot& snap) {
+  const auto* s = dynamic_cast<const BootState*>(snap.protocol.get());
+  if (s == nullptr) return;
+  // Merge, never clobber: messages that arrived during the joining window
+  // must survive.
+  adelivered_.insert(s->adelivered.begin(), s->adelivered.end());
+  // Timestamp proposals are per-(message, group) facts learned over the
+  // wire — meaningful from any donor; most-advanced wins.
+  for (const auto& [id, ps] : s->tsProposals)
+    for (const auto& [g, ts] : ps)
+      tsProposals_[id][g] = std::max(tsProposals_[id][g], ts);
+  if (snap.donorGroup == gid()) {
+    // Group-scoped pieces: the group clock, the proposal clock, the
+    // pending stages/timestamps and the buffered decisions all describe
+    // the DONOR's group's ordering progress — only a groupmate's apply.
+    // Clocks advance to the donor's; on a pending id both sides know, the
+    // donor's entry wins (its stage is at least as advanced).
+    K_ = std::max(K_, s->K);
+    propK_ = std::max(propK_, s->propK);
+    for (const auto& [id, p] : s->pending) pending_[id] = p;
+    for (const auto& [k, es] : s->decisionBuffer)
+      decisionBuffer_.emplace(k, es);
+  }
+  for (MsgId id : s->adelivered) {
+    pending_.erase(id);
+    tsProposals_.erase(id);
+  }
+  // Decisions for instances the donor already executed can never drain
+  // (the clock is past them) — drop them instead of leaking.
+  decisionBuffer_.erase(decisionBuffer_.begin(),
+                        decisionBuffer_.lower_bound(K_));
+}
+
+void A1Node::resumeAfterInstall() {
+  drainDecisions();
+  std::vector<MsgId> s1;
+  for (const auto& [id, p] : pending_)
+    if (p.stage == Stage::s1) s1.push_back(id);
+  for (MsgId id : s1) checkStage1(id);  // remote proposals may be in already
+  adeliveryTest();
+  tryPropose();
 }
 
 }  // namespace wanmc::amcast

@@ -75,11 +75,30 @@ class A1Node final : public core::XcastNode {
  protected:
   void onProtocolMessage(ProcessId from, const PayloadPtr& p) override;
 
+  // Bootstrap snapshot surface (core/stack_node.hpp): the full A1 ordering
+  // state — group clock, pending table, stamp proposals, decision buffer.
+  [[nodiscard]] std::shared_ptr<bootstrap::ProtocolState>
+  snapshotProtocolState() const override;
+  void installProtocolState(const bootstrap::Snapshot& s) override;
+  void resumeAfterInstall() override;
+
  private:
   struct Pend {
     AppMsgPtr msg;
     Stage stage = Stage::s0;
     uint64_t ts = 0;
+  };
+
+  // Donor and rejoiner are the same class, so the blob round-trips as a
+  // private nested type; nobody else can see inside it.
+  struct BootState final : bootstrap::ProtocolState {
+    uint64_t K = 1;
+    uint64_t propK = 1;
+    std::map<MsgId, Pend> pending;
+    std::set<MsgId> adelivered;
+    std::map<MsgId, std::map<GroupId, uint64_t>> tsProposals;
+    std::map<consensus::Instance, A1EntrySet> decisionBuffer;
+    [[nodiscard]] uint64_t approxBytes() const override;
   };
 
   // Lines 10-13: first sight of m via R-Deliver or (TS, m).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 namespace wanmc::amcast {
 
@@ -60,6 +61,7 @@ void RingNode::noteCandidate(const AppMsgPtr& m, bool defined, uint64_t ts) {
 }
 
 void RingNode::tryPropose() {
+  if (joining()) return;  // rejoin in progress: no proposal initiation
   if (propK_ > K_) return;
   A1EntrySet set;
   for (const auto& [id, c] : candidates_) {
@@ -81,6 +83,8 @@ void RingNode::onDecided(consensus::Instance k, const ConsensusValue& v) {
 }
 
 void RingNode::drainDecisions() {
+  // Buffer-only while joining (see A1Node::drainDecisions).
+  if (joining()) return;
   for (auto it = decisionBuffer_.find(K_); it != decisionBuffer_.end();
        it = decisionBuffer_.find(K_)) {
     A1EntrySet entries = std::move(it->second);
@@ -109,6 +113,7 @@ void RingNode::handleDecided(uint64_t k, const A1EntrySet& entries) {
 }
 
 void RingNode::pumpQueue() {
+  if (joining()) return;  // acks buffer in acked_; the queue waits
   while (!queue_.empty()) {
     const MsgId id = queue_.front();
     const Cand& c = agreed_.at(id);
@@ -147,6 +152,75 @@ void RingNode::pumpQueue() {
     done_.insert(id);
     adeliver(msg);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap snapshot surface.
+// ---------------------------------------------------------------------------
+
+uint64_t RingNode::BootState::approxBytes() const {
+  uint64_t b = 16;
+  for (const auto& [id, c] : candidates) b += 40 + c.msg->body.size();
+  for (const auto& [id, c] : agreed) b += 40 + c.msg->body.size();
+  b += 8 * (queue.size() + acked.size() + forwarded.size() + done.size());
+  for (const auto& [k, es] : decisionBuffer) b += 8 + 48 * es.size();
+  return b;
+}
+
+std::shared_ptr<bootstrap::ProtocolState> RingNode::snapshotProtocolState()
+    const {
+  auto s = std::make_shared<BootState>();
+  s->K = K_;
+  s->propK = propK_;
+  s->candidates = candidates_;
+  s->queue = queue_;
+  s->agreed = agreed_;
+  s->acked = acked_;
+  s->forwarded = forwarded_;
+  s->done = done_;
+  s->decisionBuffer = decisionBuffer_;
+  return s;
+}
+
+void RingNode::installProtocolState(const bootstrap::Snapshot& snap) {
+  const auto* s = dynamic_cast<const BootState*>(snap.protocol.get());
+  if (s == nullptr) return;
+  // Global facts, valid from any donor: the delivered set (the suffix
+  // replay performs the actual deliveries) and final-group acks (gk
+  // broadcasts them to every destination process). Acks DO land during
+  // the joining window (union them).
+  done_.insert(s->done.begin(), s->done.end());
+  acked_.insert(s->acked.begin(), s->acked.end());
+  if (snap.donorGroup == gid()) {
+    // Group-scoped pieces: the clocks, the agreed queue and the candidate
+    // table describe the DONOR's group's position on each message's ring —
+    // only a groupmate's apply. The queue and its bookkeeping are produced
+    // only by decisions, and the joining gate kept drainDecisions
+    // buffer-only, so the local ones are empty and the donor's are adopted
+    // wholesale.
+    K_ = std::max(K_, s->K);
+    propK_ = std::max(propK_, s->propK);
+    queue_ = s->queue;
+    agreed_ = s->agreed;
+    forwarded_ = s->forwarded;
+    for (const auto& [id, c] : s->candidates) candidates_[id] = c;
+    for (const auto& [k, es] : s->decisionBuffer)
+      decisionBuffer_.emplace(k, es);
+  }
+  for (auto it = acked_.begin(); it != acked_.end();)
+    it = done_.count(*it) ? acked_.erase(it) : std::next(it);
+  for (auto it = candidates_.begin(); it != candidates_.end();)
+    it = (done_.count(it->first) || agreed_.count(it->first))
+             ? candidates_.erase(it)
+             : std::next(it);
+  decisionBuffer_.erase(decisionBuffer_.begin(),
+                        decisionBuffer_.lower_bound(K_));
+}
+
+void RingNode::resumeAfterInstall() {
+  drainDecisions();
+  pumpQueue();
+  tryPropose();
 }
 
 }  // namespace wanmc::amcast

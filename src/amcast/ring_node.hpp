@@ -55,11 +55,31 @@ class RingNode final : public core::XcastNode {
  protected:
   void onProtocolMessage(ProcessId from, const PayloadPtr& p) override;
 
+  // Bootstrap snapshot surface: clock, candidate set, the group-agreed
+  // processing queue and its forwarded/acked bookkeeping.
+  [[nodiscard]] std::shared_ptr<bootstrap::ProtocolState>
+  snapshotProtocolState() const override;
+  void installProtocolState(const bootstrap::Snapshot& s) override;
+  void resumeAfterInstall() override;
+
  private:
   struct Cand {
     AppMsgPtr msg;
     bool defined = false;  // true once a timestamp travels with it
     uint64_t ts = 0;
+  };
+
+  struct BootState final : bootstrap::ProtocolState {
+    uint64_t K = 1;
+    uint64_t propK = 1;
+    std::map<MsgId, Cand> candidates;
+    std::deque<MsgId> queue;
+    std::map<MsgId, Cand> agreed;
+    std::set<MsgId> acked;
+    std::set<MsgId> forwarded;
+    std::set<MsgId> done;
+    std::map<consensus::Instance, A1EntrySet> decisionBuffer;
+    [[nodiscard]] uint64_t approxBytes() const override;
   };
 
   [[nodiscard]] static GroupId firstGroup(const AppMessage& m) {

@@ -149,6 +149,7 @@ consensus::ConsensusService* RodriguesNode::onUnknownConsensusScope(
 }
 
 void RodriguesNode::maybePropose(MsgId id) {
+  if (joining()) return;  // rejoin in progress: no proposal initiation
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   Pend& p = it->second;
@@ -184,6 +185,7 @@ void RodriguesNode::onDecided(MsgId id, uint64_t finalTs) {
 }
 
 void RodriguesNode::tryDeliver() {
+  if (joining()) return;  // decisions buffer in pending_; delivery waits
   // Deliver decided messages in (finalTs, id) order, held back by any
   // pending message whose final timestamp could still be smaller. Our own
   // vote is a lower bound on every final timestamp (the decision is a
@@ -208,6 +210,67 @@ void RodriguesNode::tryDeliver() {
     pending_.erase(bestId);
     adeliver(m);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap snapshot surface.
+// ---------------------------------------------------------------------------
+
+uint64_t RodriguesNode::BootState::approxBytes() const {
+  uint64_t b = 8;
+  for (const auto& [id, p] : pending)
+    b += 48 + p.msg->body.size() + 16 * p.votes.size();
+  b += 8 * delivered.size() + 16 * knownMsgs.size();
+  return b;
+}
+
+std::shared_ptr<bootstrap::ProtocolState>
+RodriguesNode::snapshotProtocolState() const {
+  auto s = std::make_shared<BootState>();
+  s->clock = clock_;
+  s->pending = pending_;
+  s->delivered = delivered_;
+  s->knownMsgs = knownMsgs_;
+  return s;
+}
+
+void RodriguesNode::installProtocolState(const bootstrap::Snapshot& snap) {
+  const auto* s = dynamic_cast<const BootState*>(snap.protocol.get());
+  if (s == nullptr) return;
+  // Clock first: every vote this incarnation casts below must land above
+  // everything the donor has already ordered.
+  clock_ = std::max(clock_, s->clock);
+  delivered_.insert(s->delivered.begin(), s->delivered.end());
+  for (const auto& [id, m] : s->knownMsgs) knownMsgs_.emplace(id, m);
+
+  for (const auto& [id, dp] : s->pending) {
+    if (delivered_.count(id)) continue;
+    if (pending_.count(id) == 0) {
+      // First sight via the snapshot: noteMessage recreates the per-message
+      // consensus scope and casts OUR vote (the donor's myVote is its own).
+      noteMessage(dp.msg);
+    }
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;  // not an addressee
+    Pend& p = it->second;
+    for (const auto& [voter, ts] : dp.votes) p.votes.emplace(voter, ts);
+    if (dp.decided && !p.decided) {
+      p.decided = true;
+      p.finalTs = dp.finalTs;
+      clock_ = std::max(clock_, dp.finalTs + 1);
+    }
+  }
+  // Entries the donor delivered may still linger locally (vote intake
+  // during the joining window): drop them, the suffix replay covers them.
+  for (MsgId id : s->delivered) pending_.erase(id);
+}
+
+void RodriguesNode::resumeAfterInstall() {
+  std::vector<MsgId> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) ids.push_back(id);
+  for (MsgId id : ids) maybePropose(id);
+  tryDeliver();
 }
 
 }  // namespace wanmc::amcast

@@ -65,6 +65,15 @@ class RodriguesNode final : public core::XcastNode {
   consensus::ConsensusService* onUnknownConsensusScope(
       ProcessId from, const consensus::ConsensusPayload& cp) override;
 
+  // Bootstrap snapshot surface. Decided outcomes are adopted directly (the
+  // per-message consensus scopes of a dead incarnation are gone); undecided
+  // entries re-enter through noteMessage, which recreates the scope and
+  // casts this incarnation's own vote.
+  [[nodiscard]] std::shared_ptr<bootstrap::ProtocolState>
+  snapshotProtocolState() const override;
+  void installProtocolState(const bootstrap::Snapshot& s) override;
+  void resumeAfterInstall() override;
+
  private:
   struct Pend {
     AppMsgPtr msg;
@@ -73,6 +82,14 @@ class RodriguesNode final : public core::XcastNode {
     bool proposed = false;
     bool decided = false;
     uint64_t finalTs = 0;
+  };
+
+  struct BootState final : bootstrap::ProtocolState {
+    uint64_t clock = 1;
+    std::map<MsgId, Pend> pending;
+    std::set<MsgId> delivered;
+    std::map<MsgId, AppMsgPtr> knownMsgs;
+    [[nodiscard]] uint64_t approxBytes() const override;
   };
 
   void noteMessage(const AppMsgPtr& m);

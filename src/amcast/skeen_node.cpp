@@ -69,6 +69,7 @@ void SkeenNode::maybeDecide(MsgId id) {
 }
 
 void SkeenNode::tryDeliver() {
+  if (joining()) return;  // votes buffer in pending_; delivery waits
   // Deliver decided messages in (finalTs, id) order. An undecided message
   // holds everything with a larger (bound, id) back; our own vote is a
   // lower bound on its final timestamp (the maximum includes it).
@@ -91,6 +92,68 @@ void SkeenNode::tryDeliver() {
     pending_.erase(bestId);
     adeliver(m);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap snapshot surface.
+// ---------------------------------------------------------------------------
+
+uint64_t SkeenNode::BootState::approxBytes() const {
+  uint64_t b = 8;
+  for (const auto& [id, p] : pending)
+    b += 48 + p.msg->body.size() + 16 * p.votes.size();
+  return b + 8 * delivered.size();
+}
+
+std::shared_ptr<bootstrap::ProtocolState> SkeenNode::snapshotProtocolState()
+    const {
+  auto s = std::make_shared<BootState>();
+  s->clock = clock_;
+  s->pending = pending_;
+  s->delivered = delivered_;
+  return s;
+}
+
+void SkeenNode::installProtocolState(const bootstrap::Snapshot& snap) {
+  const auto* s = dynamic_cast<const BootState*>(snap.protocol.get());
+  if (s == nullptr) return;
+  clock_ = std::max(clock_, s->clock);
+  delivered_.insert(s->delivered.begin(), s->delivered.end());
+
+  for (const auto& [id, dp] : s->pending) {
+    if (delivered_.count(id)) continue;
+    if (pending_.count(id) == 0) {
+      if (auto v = dp.votes.find(pid()); v != dp.votes.end()) {
+        // The dead incarnation voted on m before crashing: adopt that vote
+        // (peers hold it) instead of casting a conflicting fresh one.
+        Pend& p = pending_[id];
+        p.msg = dp.msg;
+        p.myVote = v->second;
+      } else {
+        // Peers are stuck waiting for this process's vote: cast it.
+        noteMessage(dp.msg);
+      }
+    }
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;  // not an addressee
+    Pend& p = it->second;
+    for (const auto& [voter, ts] : dp.votes) p.votes.emplace(voter, ts);
+    if (dp.decided && !p.decided) {
+      p.decided = true;
+      p.finalTs = dp.finalTs;
+      clock_ = std::max(clock_, dp.finalTs + 1);
+    }
+  }
+  for (MsgId id : s->delivered) pending_.erase(id);
+}
+
+void SkeenNode::resumeAfterInstall() {
+  std::vector<MsgId> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, p] : pending_) ids.push_back(id);
+  for (MsgId id : ids)
+    if (pending_.count(id)) maybeDecide(id);
+  tryDeliver();
 }
 
 }  // namespace wanmc::amcast

@@ -56,6 +56,15 @@ class SkeenNode final : public core::XcastNode {
  protected:
   void onProtocolMessage(ProcessId from, const PayloadPtr& p) override;
 
+  // Bootstrap snapshot surface. A rejoiner adopts the dead incarnation's
+  // vote where one exists (so its maximum matches its peers') and casts a
+  // fresh vote otherwise — which is exactly what unblocks peers stuck
+  // waiting on the crashed process's vote.
+  [[nodiscard]] std::shared_ptr<bootstrap::ProtocolState>
+  snapshotProtocolState() const override;
+  void installProtocolState(const bootstrap::Snapshot& s) override;
+  void resumeAfterInstall() override;
+
  private:
   struct Pend {
     AppMsgPtr msg;
@@ -63,6 +72,13 @@ class SkeenNode final : public core::XcastNode {
     std::map<ProcessId, uint64_t> votes;
     bool decided = false;
     uint64_t finalTs = 0;
+  };
+
+  struct BootState final : bootstrap::ProtocolState {
+    uint64_t clock = 1;
+    std::map<MsgId, Pend> pending;
+    std::set<MsgId> delivered;
+    [[nodiscard]] uint64_t approxBytes() const override;
   };
 
   void noteMessage(const AppMsgPtr& m);

@@ -28,9 +28,13 @@ enum class Layer : uint8_t {
   kApp,
   kChannel,    // reliable-channel substrate control traffic (ACK/NACK);
                // retransmitted DATA is accounted under its inner layer
+  kBootstrap,  // recovery state-transfer plane (src/bootstrap/): announce/
+               // request/offer traffic for rejoining incarnations. Substrate
+               // like kChannel: excluded from genuineness/quiescence, and
+               // fingerprint-visible only when armed
 };
 
-inline constexpr int kNumLayers = 6;
+inline constexpr int kNumLayers = 7;
 
 [[nodiscard]] constexpr const char* layerName(Layer l) {
   switch (l) {
@@ -40,6 +44,7 @@ inline constexpr int kNumLayers = 6;
     case Layer::kProtocol: return "protocol";
     case Layer::kApp: return "app";
     case Layer::kChannel: return "channel";
+    case Layer::kBootstrap: return "bootstrap";
   }
   return "?";
 }

@@ -195,6 +195,22 @@ struct ChannelStats {
   friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
 };
 
+// Bootstrap-plane counters (src/bootstrap/). Like ChannelStats: maintained
+// by the bootstrap plane itself and injected into both Summary constructions
+// at harvest. All-zero when the plane is unarmed.
+struct BootstrapStats {
+  uint64_t snapshotsRequested = 0;  // kRequest packets sent by rejoiners
+  uint64_t snapshotsServed = 0;     // kOffer packets sent by live peers
+  uint64_t snapshotsInstalled = 0;  // offers accepted and installed
+  uint64_t snapshotBytes = 0;       // approximate serialized size of offers
+  uint64_t suffixMessages = 0;      // delivery-suffix entries replayed
+  uint64_t retries = 0;             // request re-issues (peer dead or silent)
+  uint64_t denies = 0;              // kDeny responses (peer itself rejoining)
+  uint64_t staleDropped = 0;        // packets for a superseded incarnation
+  friend bool operator==(const BootstrapStats&,
+                         const BootstrapStats&) = default;
+};
+
 // Per-layer message counters, split intra/inter group.
 struct TrafficStats {
   struct Counter {
@@ -227,14 +243,17 @@ struct TrafficStats {
     return s;
   }
   // Inter-group messages excluding the failure-detector substrate, which the
-  // paper's accounting treats as an oracle (DESIGN.md §2), and the reliable-
+  // paper's accounting treats as an oracle (DESIGN.md §2), the reliable-
   // channel control traffic, which the paper assumes away entirely
-  // (retransmitted DATA copies still count under their inner layer).
+  // (retransmitted DATA copies still count under their inner layer), and the
+  // bootstrap state-transfer plane, which exists outside the paper's model
+  // (its crash-stop processes never rejoin).
   [[nodiscard]] uint64_t interAlgorithmic() const {
     uint64_t s = 0;
     for (int l = 0; l < kNumLayers; ++l)
       if (static_cast<Layer>(l) != Layer::kFailureDetector &&
-          static_cast<Layer>(l) != Layer::kChannel)
+          static_cast<Layer>(l) != Layer::kChannel &&
+          static_cast<Layer>(l) != Layer::kBootstrap)
         s += perLayer[l].inter;
     return s;
   }

@@ -93,6 +93,19 @@ class ConsensusService {
     return decided_.at(k);
   }
 
+  // Bootstrap plane (src/bootstrap/): the decided-instance table is part of
+  // a donor's snapshot, and a rejoining incarnation installs it SILENTLY —
+  // no decide callbacks fire, because the donated protocol state already
+  // reflects every decision's effect. The install also arms
+  // maybeRetransmitDecision: the rejoiner can answer stragglers stuck in
+  // instances it never personally ran.
+  [[nodiscard]] const std::map<Instance, ConsensusValue>& decisions() const {
+    return decided_;
+  }
+  void installDecisions(const std::map<Instance, ConsensusValue>& ds) {
+    for (const auto& [k, v] : ds) decided_.emplace(k, v);
+  }
+
  protected:
   [[nodiscard]] size_t majority() const { return members_.size() / 2 + 1; }
   [[nodiscard]] ProcessId coordinator(Instance k, uint32_t round) const {

@@ -99,6 +99,13 @@ Experiment::Experiment(RunConfig cfg) : cfg_(cfg) {
   // Registered before any node or workload so the measurement plane sees
   // every event; the recorder is passive, so run behavior is unchanged.
   if (cfg_.metrics) recorder_ = std::make_unique<metrics::Recorder>(*rt_);
+  // The bootstrap plane outlives every node incarnation and must exist
+  // before the first XcastNode constructor runs (nodes bind to it there).
+  if (cfg_.stack.bootstrap.armed) {
+    bootstrap_ = std::make_unique<bootstrap::Plane>(*rt_,
+                                                    cfg_.stack.bootstrap);
+    cfg_.stack.bootstrapPlane = bootstrap_.get();
+  }
   for (ProcessId p = 0; p < topo.numProcesses(); ++p) {
     auto node = makeNode(cfg_.protocol, *rt_, p, cfg_);
     nodes_.push_back(node.get());
@@ -106,10 +113,13 @@ Experiment::Experiment(RunConfig cfg) : cfg_(cfg) {
   }
   // Recovery rebuilds a crashed process's stack from the same config; the
   // factory also refreshes the experiment's node table so node(pid) always
-  // resolves to the live incarnation.
+  // resolves to the live incarnation, and hands the fresh incarnation to
+  // the bootstrap plane (which marks it joining and arms the rejoin
+  // handshake — the incarnation counter is already bumped here).
   rt_->setNodeFactory([this](ProcessId p) -> std::unique_ptr<sim::Node> {
     auto node = makeNode(cfg_.protocol, *rt_, p, cfg_);
     nodes_[static_cast<size_t>(p)] = node.get();
+    if (bootstrap_) bootstrap_->onRecovered(p);
     return node;
   });
   if (cfg_.stack.reliableChannels) {
@@ -355,6 +365,24 @@ RunResult Experiment::harvest() const {
   // plane's counters are not reconstructible from the trace.
   r.metrics.faults = rt_->faultStats();
   if (channel_) r.metrics.channels = channel_->stats();
+  if (bootstrap_) {
+    r.metrics.bootstrap = bootstrap_->stats();
+    for (const auto& rj : bootstrap_->rejoins()) {
+      RunResult::RejoinResult rr;
+      rr.pid = rj.pid;
+      rr.installedAt = rj.installedAt;
+      rr.suffixReplayed = rj.suffixReplayed;
+      for (const auto& rec : rt_->trace().recoveries)
+        if (rec.process == rj.pid && rec.when <= rj.installedAt)
+          rr.recoveredAt = rec.when;
+      for (const auto& d : rt_->trace().deliveries) {
+        if (d.process != rj.pid || d.when <= rj.installedAt) continue;
+        rr.firstDeliveryAfter = d.when;
+        break;
+      }
+      r.rejoins.push_back(rr);
+    }
+  }
   for (const auto& rec : rt_->trace().recoveries)
     r.recovered.insert(rec.process);
   for (ProcessId p : rt_->topology().allProcesses()) {

@@ -107,6 +107,20 @@ struct RunResult {
   // goodput — see metrics/summary.hpp). Built online by the recorder when
   // RunConfig::metrics is on, else reconstructed from the trace.
   metrics::Summary metrics;
+  // Completed bootstrap rejoins (armed runs only), one per install, in
+  // install order. firstDeliveryAfter is the recovered pid's first
+  // A-Deliver STRICTLY after the install instant (-1: none) — the suffix
+  // replay itself lands exactly AT the install instant, so this is the
+  // first delivery the rejoined protocol earned on its own; together with
+  // installedAt it bounds the catch-up latency.
+  struct RejoinResult {
+    ProcessId pid = kNoProcess;
+    SimTime recoveredAt = 0;
+    SimTime installedAt = 0;
+    uint64_t suffixReplayed = 0;
+    SimTime firstDeliveryAfter = -1;
+  };
+  std::vector<RejoinResult> rejoins;
 
   [[nodiscard]] verify::CheckContext checkContext() const {
     return verify::CheckContext{&trace, &topo, correct};
@@ -216,6 +230,10 @@ class Experiment {
   // it is destroyed first; the runtime holds a non-owning hook pointer and
   // never invokes it from its destructor.
   std::unique_ptr<channel::Plane> channel_;
+  // Bootstrap state-transfer plane (nullptr: unarmed). Declared after rt_
+  // for the same reason; nodes hold a non-owning pointer via StackConfig
+  // and route Layer::kBootstrap packets to it.
+  std::unique_ptr<bootstrap::Plane> bootstrap_;
   std::vector<XcastNode*> nodes_;
   std::unique_ptr<BatchPlane> batcher_;  // nullptr: batching off
   std::vector<std::unique_ptr<workload::Generator>> workloads_;

@@ -10,8 +10,10 @@
 #include <cassert>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "bootstrap/bootstrap.hpp"
 #include "channel/channel.hpp"
 #include "common/batch.hpp"
 #include "common/message.hpp"
@@ -59,6 +61,16 @@ struct StackConfig {
   // golden fingerprint).
   bool reliableChannels = false;
   channel::Config channel{};
+  // Bootstrap plane (src/bootstrap/): when armed, a recovered process runs
+  // a rejoin handshake — it requests an order-state snapshot plus delivery
+  // suffix from a live donor, installs it, and resumes as a full protocol
+  // participant instead of an amnesiac. Off = plane never constructed,
+  // byte-identical to the pre-bootstrap harness (pinned by every
+  // pre-existing golden fingerprint).
+  bootstrap::Config bootstrap{};
+  // Non-owning; set by the Experiment (which owns the plane) before nodes
+  // are built. Null whenever bootstrap.armed is false.
+  bootstrap::Plane* bootstrapPlane = nullptr;
 };
 
 class StackNode : public sim::Node {
@@ -109,6 +121,12 @@ class StackNode : public sim::Node {
         // Channel control packets terminate in the channel plane; the
         // substrate never hands them to a node.
         break;
+      case Layer::kBootstrap:
+        // State-transfer packets belong to the bootstrap plane; the node
+        // only hosts the delivery (plane endpoints are not sim::Nodes).
+        if (cfg_.bootstrapPlane != nullptr)
+          cfg_.bootstrapPlane->onMessage(pid(), from, *payload);
+        break;
     }
   }
 
@@ -143,6 +161,13 @@ class StackNode : public sim::Node {
     return nullptr;
   }
 
+  // Bootstrap snapshot surface: visit every consensus service this stack
+  // owns (per-group and dynamically-created scopes alike).
+  template <class Fn>
+  void forEachConsensus(Fn&& fn) {
+    for (auto& [scope, svc] : consensusByScope_) fn(scope, *svc);
+  }
+
   virtual void startProtocol() {}
   virtual void onProtocolMessage(ProcessId from, const PayloadPtr& p) = 0;
 
@@ -162,11 +187,19 @@ class StackNode : public sim::Node {
 // Base class of every atomic multicast / broadcast protocol node: exposes
 // the A-XCast entry point and the A-Deliver callback, and records both
 // events against the modified Lamport clock for latency-degree measurement.
-class XcastNode : public StackNode {
+// It is also the stacks' one bootstrap::Participant implementation: the
+// protocol-agnostic snapshot parts (consensus decisions, rmcast delivered
+// set, delivery-suffix replay) live here, the protocol-specific blob is
+// delegated to the per-protocol virtuals below.
+class XcastNode : public StackNode, public bootstrap::Participant {
  public:
   using DeliverCb = std::function<void(const AppMsgPtr&)>;
 
-  using StackNode::StackNode;
+  XcastNode(sim::Runtime& rt, ProcessId pid, const StackConfig& cfg)
+      : StackNode(rt, pid, cfg) {
+    if (cfg.bootstrapPlane != nullptr)
+      cfg.bootstrapPlane->bind(pid, this, fd());
+  }
 
   // A-MCast / A-BCast m from this process.
   virtual void xcast(const AppMsgPtr& m) = 0;
@@ -177,7 +210,74 @@ class XcastNode : public StackNode {
     return deliveredList_;
   }
 
+  // ---- bootstrap::Participant ---------------------------------------------
+
+  [[nodiscard]] std::shared_ptr<const bootstrap::Snapshot> makeSnapshot()
+      override {
+    auto s = std::make_shared<bootstrap::Snapshot>();
+    s->donorGroup = gid();
+    forEachConsensus([&](uint64_t scope, consensus::ConsensusService& svc) {
+      s->consensus.push_back({scope, svc.decisions()});
+    });
+    s->rmDelivered = rm().snapshotDelivered();
+    s->suffix = deliveredList_;  // full history, in delivery order
+    s->protocol = snapshotProtocolState();
+    return s;
+  }
+
+  size_t installSnapshot(const bootstrap::Snapshot& s) override {
+    // joining_ stays raised through the whole merge: no protocol path may
+    // propose or deliver until the suffix replay has fixed the prefix.
+    // Consensus decisions first (silent): scopes this incarnation has not
+    // (re)created yet — Rodrigues98 per-message scopes — are skipped; the
+    // protocol blob carries their outcomes.
+    for (const auto& cs : s.consensus)
+      if (auto* svc = findConsensus(cs.scope))
+        svc->installDecisions(cs.decisions);
+    rm().installDelivered(s.rmDelivered);
+    installProtocolState(s);
+    // Replay the donor's delivery history restricted to messages this
+    // process is an addressee of (identical to the full history for a
+    // same-group donor): the new incarnation's sequence is then order-
+    // consistent with the donor's, and integrity holds per incarnation.
+    // The joining() gates keep the window delivery-free, so the dedup set
+    // is normally empty; it is the integrity backstop should a protocol
+    // path slip a delivery through before the install.
+    std::set<MsgId> have;
+    for (const AppMsgPtr& m : deliveredList_) have.insert(m->id);
+    size_t replayed = 0;
+    for (const AppMsgPtr& m : s.suffix) {
+      if (!m->dest.contains(gid())) continue;
+      if (!have.insert(m->id).second) continue;
+      deliverOne(m);
+      ++replayed;
+    }
+    joining_ = false;
+    resumeAfterInstall();
+    return replayed;
+  }
+
+  void setJoining(bool joining) override { joining_ = joining; }
+
  protected:
+  // True between recovery and snapshot install: protocols hold back
+  // proposal INITIATION (never message intake) while it is raised.
+  [[nodiscard]] bool joining() const { return joining_; }
+
+  // Protocol-specific snapshot blob (clocks, pending tables, sequencer
+  // assignments...). Donor side; null means "nothing beyond the generic
+  // parts".
+  [[nodiscard]] virtual std::shared_ptr<bootstrap::ProtocolState>
+  snapshotProtocolState() const {
+    return nullptr;
+  }
+  // Rejoiner side: MERGE the donated blob into local state. Runs before
+  // the suffix replay; messages that arrived during the joining window
+  // must survive the merge (union sets, most-advanced-stage wins).
+  virtual void installProtocolState(const bootstrap::Snapshot& /*s*/) {}
+  // Rejoiner side, after the replay: kick the protocol's progress paths
+  // (drain buffered decisions, re-propose, pump queues).
+  virtual void resumeAfterInstall() {}
   // Called by subclasses at the A-XCast event (before any sends). Batch
   // carriers are ordering-layer artifacts: their constituents were already
   // recorded when the batching plane accepted them, and the carrier id
@@ -208,6 +308,7 @@ class XcastNode : public StackNode {
 
   std::vector<DeliverCb> deliverCbs_;
   std::vector<AppMsgPtr> deliveredList_;
+  bool joining_ = false;
 };
 
 }  // namespace wanmc::core

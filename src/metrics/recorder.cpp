@@ -71,10 +71,12 @@ void Recorder::onSend(const WireEvent& ev) {
   } else {
     ++counter.intra;
   }
-  // FD heartbeats and channel ACK/NACK control packets are substrate, not
-  // algorithm traffic: neither resets the quiescence clock (mirrors
-  // Runtime's lastAlgorithmicSend accounting, incl. channelSend).
-  if (ev.layer != Layer::kFailureDetector && ev.layer != Layer::kChannel)
+  // FD heartbeats, channel ACK/NACK control packets and bootstrap
+  // handshake traffic are substrate, not algorithm traffic: none of them
+  // resets the quiescence clock (mirrors Runtime's lastAlgorithmicSend
+  // accounting, incl. channelSend).
+  if (ev.layer != Layer::kFailureDetector && ev.layer != Layer::kChannel &&
+      ev.layer != Layer::kBootstrap)
     lastAlgoSendAt_ = ev.sentAt;
 }
 

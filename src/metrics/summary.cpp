@@ -73,6 +73,14 @@ void Summary::merge(const Summary& other) {
   channels.staleDropped += other.channels.staleDropped;
   channels.holdbackOverflow += other.channels.holdbackOverflow;
   channels.delivered += other.channels.delivered;
+  bootstrap.snapshotsRequested += other.bootstrap.snapshotsRequested;
+  bootstrap.snapshotsServed += other.bootstrap.snapshotsServed;
+  bootstrap.snapshotsInstalled += other.bootstrap.snapshotsInstalled;
+  bootstrap.snapshotBytes += other.bootstrap.snapshotBytes;
+  bootstrap.suffixMessages += other.bootstrap.suffixMessages;
+  bootstrap.retries += other.bootstrap.retries;
+  bootstrap.denies += other.bootstrap.denies;
+  bootstrap.staleDropped += other.bootstrap.staleDropped;
 }
 
 Summary summarizeTrace(const RunTrace& trace, const Topology& topo,
@@ -218,6 +226,15 @@ void writeJson(const Summary& s, std::ostream& os, const std::string& indent) {
      << ", \"staleDropped\": " << s.channels.staleDropped
      << ", \"holdbackOverflow\": " << s.channels.holdbackOverflow
      << ", \"delivered\": " << s.channels.delivered << "},\n";
+  os << in2 << "\"bootstrap\": {\"snapshotsRequested\": "
+     << s.bootstrap.snapshotsRequested
+     << ", \"snapshotsServed\": " << s.bootstrap.snapshotsServed
+     << ", \"snapshotsInstalled\": " << s.bootstrap.snapshotsInstalled
+     << ", \"snapshotBytes\": " << s.bootstrap.snapshotBytes
+     << ", \"suffixMessages\": " << s.bootstrap.suffixMessages
+     << ", \"retries\": " << s.bootstrap.retries
+     << ", \"denies\": " << s.bootstrap.denies
+     << ", \"staleDropped\": " << s.bootstrap.staleDropped << "},\n";
   os << in2 << "\"quiescence\": {\"lastCastUs\": " << s.lastCastAt
      << ", \"lastAlgoSendUs\": " << s.lastAlgoSendAt << ", \"settleUs\": "
      << (s.lastAlgoSendAt >= 0 && s.lastCastAt >= 0

@@ -93,6 +93,12 @@ struct Summary {
   // from the trace). All-zero when channels are off.
   ChannelStats channels;
 
+  // Bootstrap state-transfer counters (src/bootstrap/): snapshots served,
+  // snapshot bytes, suffix replays, retries. Maintained by the bootstrap
+  // plane and injected at harvest like the channel block. All-zero when
+  // the plane is unarmed.
+  BootstrapStats bootstrap;
+
   // ---- derived rates ------------------------------------------------------
   // Offered load: casts per simulated second over the casting window.
   [[nodiscard]] double offeredPerSec() const;

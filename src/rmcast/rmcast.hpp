@@ -88,6 +88,27 @@ class ReliableMulticast {
     return delivered_.count(id) > 0;
   }
 
+  // Bootstrap plane (src/bootstrap/): a donor exports its R-Delivered
+  // messages; the rejoining incarnation installs them as already-delivered
+  // and already-relayed, SILENTLY (no deliver callbacks — the protocol
+  // state travels separately in the snapshot). Stale wire copies of old
+  // messages then dedupe here instead of re-entering the rejoined protocol
+  // as fresh R-Delivers.
+  [[nodiscard]] std::vector<AppMsgPtr> snapshotDelivered() const {
+    std::vector<AppMsgPtr> out;
+    for (const auto& [id, s] : seen_)
+      if (delivered_.count(id) > 0) out.push_back(s.msg);
+    return out;
+  }
+  void installDelivered(const std::vector<AppMsgPtr>& msgs) {
+    for (const AppMsgPtr& m : msgs) {
+      Seen& s = seen_[m->id];
+      s.msg = m;
+      s.relayed = true;
+      delivered_.insert(m->id);
+    }
+  }
+
  private:
   struct Seen {
     AppMsgPtr msg;

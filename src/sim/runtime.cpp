@@ -90,13 +90,20 @@ WANMC_HOT void Runtime::multicast(ProcessId from,
   senderClock = sendTs;
 
   if (layer != Layer::kFailureDetector) {
-    lastAlgoSend_ = sched_.now();
-    sentAlgo_[static_cast<size_t>(from)] = 1;
+    // Bootstrap state transfer is substrate control traffic, like the FD
+    // and the channel plane's ACK/NACK: it neither counts as algorithmic
+    // activity (genuineness) nor resets the quiescence clock.
+    if (layer != Layer::kBootstrap) {
+      lastAlgoSend_ = sched_.now();
+      sentAlgo_[static_cast<size_t>(from)] = 1;
+    }
 
     // Reliable-channel substrate: the plane takes over transmission of the
     // whole fan-out (it will emit wire copies through channelSend, each
     // carrying this fan-out's single Lamport stamp). FD traffic stays on
-    // the direct path — heartbeat timing IS the failure signal.
+    // the direct path — heartbeat timing IS the failure signal. Bootstrap
+    // traffic rides the channels on purpose: the catch-up path must be as
+    // loss-tolerant as the protocol traffic it reconstructs.
     if (channelHook_ != nullptr) {
       channelHook_->onSend(from, tos, payload, sendTs);
       return;
@@ -172,9 +179,11 @@ WANMC_HOT void Runtime::channelSend(ProcessId from, ProcessId to,
   }
   // Channel control traffic (ACK/NACK) is substrate, like FD: it neither
   // counts as algorithmic activity nor resets the quiescence clock. DATA
-  // (re)transmissions are accounted under their inner layer and do.
+  // (re)transmissions are accounted under their inner layer and do —
+  // except bootstrap DATA, which is substrate all the way down.
   if (accountLayer != Layer::kFailureDetector &&
-      accountLayer != Layer::kChannel) {
+      accountLayer != Layer::kChannel &&
+      accountLayer != Layer::kBootstrap) {
     lastAlgoSend_ = sched_.now();
     sentAlgo_[static_cast<size_t>(from)] = 1;
   }
@@ -204,7 +213,8 @@ void Runtime::deliverFromChannel(ProcessId from, ProcessId to,
   // retransmissions it took, the Lamport cost model sees one send event.
   uint64_t& recvClock = lamport_[static_cast<size_t>(to)];
   recvClock = std::max(recvClock, sendTs);
-  if (payload->layer() != Layer::kFailureDetector)
+  if (payload->layer() != Layer::kFailureDetector &&
+      payload->layer() != Layer::kBootstrap)
     recvAlgo_[static_cast<size_t>(to)] = 1;
   nodes_[static_cast<size_t>(to)]->onMessage(from, payload);
 }
@@ -215,7 +225,7 @@ WANMC_HOT void Runtime::deliverCopy(Fanout& f, ProcessId to) {
     // max(LC, ts(send(m))).
     uint64_t& recvClock = lamport_[static_cast<size_t>(to)];
     recvClock = std::max(recvClock, f.sendTs);
-    if (f.layer != Layer::kFailureDetector)
+    if (f.layer != Layer::kFailureDetector && f.layer != Layer::kBootstrap)
       recvAlgo_[static_cast<size_t>(to)] = 1;
     nodes_[static_cast<size_t>(to)]->onMessage(f.from, f.payload);
   }

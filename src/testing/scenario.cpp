@@ -78,6 +78,29 @@ std::vector<RecoverSpec> materializeRecoveries(
   return out;
 }
 
+std::pair<std::vector<CrashSpec>, std::vector<RecoverSpec>>
+materializeChurn(const Topology& topo, const ChurnSpec& plan,
+                 uint64_t seed) {
+  std::pair<std::vector<CrashSpec>, std::vector<RecoverSpec>> out;
+  // Only processes whose group survives their crash are eligible: one
+  // victim at a time, so any group of three or more keeps its majority.
+  std::vector<ProcessId> eligible;
+  for (ProcessId p : topo.allProcesses())
+    if (topo.groupSize(topo.group(p)) >= 3) eligible.push_back(p);
+  if (eligible.empty() || plan.cycles <= 0) return out;
+  SplitMix64 rng(SplitMix64(seed).fork(plan.salt).next());
+  for (int c = 0; c < plan.cycles; ++c) {
+    const ProcessId victim =
+        eligible[static_cast<size_t>(rng.next() % eligible.size())];
+    const SimTime when = plan.start + c * plan.period;
+    const SimTime down =
+        rng.uniform(plan.downMin, std::max(plan.downMin, plan.downMax));
+    out.first.push_back(CrashSpec{victim, when});
+    out.second.push_back(RecoverSpec{victim, when + down});
+  }
+  return out;
+}
+
 std::vector<PartitionSpec> materializePartitions(const Topology& topo,
                                                  const RandomPartitions& plan,
                                                  uint64_t seed) {
@@ -143,7 +166,7 @@ class DropEngine {
 // Protocol traits and expectations.
 // ---------------------------------------------------------------------------
 
-ProtocolTraits traitsOf(core::ProtocolKind kind) {
+ProtocolTraits traitsOf(core::ProtocolKind kind, bool bootstrapArmed) {
   using core::ProtocolKind;
   ProtocolTraits t;
   switch (kind) {
@@ -194,6 +217,11 @@ ProtocolTraits traitsOf(core::ProtocolKind kind) {
       t.genuine = false;
       break;
   }
+  // The bootstrap plane transfers exactly the state whose loss is recorded
+  // above (TS exchanges, ring tokens, sequencer counters, merge frontiers):
+  // with it armed, every stack's recovered processes rejoin (pinned by the
+  // RejoinSmoke suite in tests/test_bootstrap.cpp).
+  if (bootstrapArmed) t.recoveredRejoins = true;
   return t;
 }
 
@@ -230,8 +258,9 @@ PropertyExpectations defaultExpectations(core::ProtocolKind kind,
 }
 
 Scenario& Scenario::withDefaultExpectations() {
+  const bool anyChurn = churn.has_value() && churn->cycles > 0;
   const bool anyCrashes =
-      !crashes.empty() ||
+      !crashes.empty() || anyChurn ||
       (randomCrashes.has_value() && randomCrashes->perGroup > 0);
   bool anyDrops;
   if (config.stack.reliableChannels) {
@@ -259,9 +288,10 @@ Scenario& Scenario::withDefaultExpectations() {
   // other delivery obligations do (drops/partitions void it too — a lost
   // copy can be exactly the one addressed to the recovered process).
   if (expect.checkLiveness &&
-      (!recoveries.empty() || randomRecoveries.has_value()))
+      (!recoveries.empty() || randomRecoveries.has_value() || anyChurn))
     expect.checkRecoveredDelivery =
-        traitsOf(config.protocol).recoveredRejoins;
+        traitsOf(config.protocol, config.stack.bootstrap.armed)
+            .recoveredRejoins;
   return *this;
 }
 
@@ -332,10 +362,12 @@ std::string traceFingerprint(const core::RunResult& r) {
   if (r.trace.lossDrops != 0) os << "XD " << r.trace.lossDrops << "\n";
   for (int l = 0; l < kNumLayers; ++l) {
     const auto& c = r.traffic.at(static_cast<Layer>(l));
-    // The channel layer postdates the golden corpus: its line appears only
-    // when channel traffic exists, so channels-off fingerprints (and the
-    // loss-drop line above) stay byte-identical to the pre-channel runs.
-    if (static_cast<Layer>(l) == Layer::kChannel &&
+    // The channel and bootstrap layers postdate the golden corpus: their
+    // lines appear only when such traffic exists, so channels-off /
+    // bootstrap-unarmed fingerprints (and the loss-drop line above) stay
+    // byte-identical to the pre-substrate runs.
+    if ((static_cast<Layer>(l) == Layer::kChannel ||
+         static_cast<Layer>(l) == Layer::kBootstrap) &&
         c.intra == 0 && c.inter == 0)
       continue;
     os << "T " << layerName(static_cast<Layer>(l)) << " intra=" << c.intra
@@ -367,7 +399,8 @@ ScenarioResult ScenarioRunner::run() const {
   // real stall fires it, short enough that an amnesiac catching up on a
   // backlog of decided instances (one timeout per instance) finishes
   // well inside the cell horizon.
-  if ((!s.recoveries.empty() || s.randomRecoveries.has_value()) &&
+  if ((!s.recoveries.empty() || s.randomRecoveries.has_value() ||
+       s.churn.has_value()) &&
       cfg.stack.consensusRoundTimeout == 0)
     cfg.stack.consensusRoundTimeout = 500 * kMs;
 
@@ -393,7 +426,6 @@ ScenarioResult ScenarioRunner::run() const {
     result.effectiveCrashes.insert(result.effectiveCrashes.end(),
                                    extra.begin(), extra.end());
   }
-  for (const auto& c : result.effectiveCrashes) ex.crashAt(c.pid, c.when);
 
   // Recovery schedule: scripted verbatim, plus one seed-derived recovery
   // per effective crash. Recovered processes are excluded from the
@@ -406,6 +438,17 @@ ScenarioResult ScenarioRunner::run() const {
     result.effectiveRecoveries.insert(result.effectiveRecoveries.end(),
                                       extra.begin(), extra.end());
   }
+
+  // Churn cycles: paired crash+recover schedules, appended to both.
+  if (s.churn) {
+    auto [crashes, recoveries] = materializeChurn(topo, *s.churn, cfg.seed);
+    result.effectiveCrashes.insert(result.effectiveCrashes.end(),
+                                   crashes.begin(), crashes.end());
+    result.effectiveRecoveries.insert(result.effectiveRecoveries.end(),
+                                      recoveries.begin(), recoveries.end());
+  }
+
+  for (const auto& c : result.effectiveCrashes) ex.crashAt(c.pid, c.when);
   for (const auto& rec : result.effectiveRecoveries) {
     ex.recoverAt(rec.pid, rec.when);
     orderChecker.excludeProcess(rec.pid);
@@ -835,6 +878,69 @@ std::vector<Scenario> standardFaultMatrix(core::ProtocolKind kind,
     s.runUntil = v2Horizon;
     s.withDefaultExpectations();
     out.push_back(std::move(s));
+  }
+
+  // Bootstrap cells (PR 9, appended so every earlier cell keeps its name
+  // and fingerprint): the state-transfer plane armed. Recovered processes
+  // now REJOIN — traitsOf(kind, armed) flips recoveredRejoins for every
+  // stack, so these are the cells where checkRecoveredDelivery binds
+  // across the whole protocol zoo, not just the two natural rejoiners.
+  if (traits.toleratesCrashes) {
+    {
+      // The crash-recover script with the plane armed: the rejoiner must
+      // deliver everything cast after its recovery.
+      Scenario s = makeBase("boot-crash-recover", LatencyPreset::kWan);
+      s.config.stack.bootstrap.armed = true;
+      s.crashes.push_back(CrashSpec{1, 200 * kMs});
+      s.recoveries.push_back(RecoverSpec{1, 500 * kMs});
+      s.workload->count = opt.casts + 4;  // arrivals past the recovery
+      s.runUntil = v2Horizon;
+      s.withDefaultExpectations();
+      out.push_back(std::move(s));
+    }
+    {
+      // Partition + recovery, with BOTH substrates armed: retransmission
+      // masks the healing cut (liveness binds again, unlike the bare
+      // partition-recover cell), then a crash+rejoin runs on the healed
+      // network, so the transferred state spans the partition era. The
+      // crash sits well past the heal: a victim that dies while its
+      // partition-dropped copies are still on the ARQ's backed-off retry
+      // schedule loses them forever (its channel state dies with it),
+      // which non-uniform stacks without a second data path — Sousa02 has
+      // no echo — legitimately cannot mask. The in-partition handshake
+      // path is covered by test_bootstrap.
+      Scenario s = makeBase("boot-partition-recover", LatencyPreset::kWan);
+      s.config.stack.bootstrap.armed = true;
+      s.config.stack.reliableChannels = true;
+      s.partitions.push_back(
+          PartitionSpec{GroupSet::single(1), 150 * kMs, 450 * kMs});
+      s.crashes.push_back(CrashSpec{1, 1500 * kMs});
+      s.recoveries.push_back(RecoverSpec{1, 1900 * kMs});
+      s.workload->count = opt.casts + 20;  // arrivals past the recovery
+      s.runUntil = v2Horizon;
+      s.withDefaultExpectations();
+      out.push_back(std::move(s));
+    }
+    // Long-horizon churn: seed-derived crash+recover cycles marching
+    // through the membership while open-loop Poisson arrivals keep the
+    // protocol under load — every victim must rejoin mid-traffic, cycle
+    // after cycle, under the oracle and the heartbeat detector alike.
+    // Arrivals are stretched to span the whole churn window (a cycle
+    // every 2.5s for ~15s), not front-loaded like the closed-loop cells.
+    for (bool hb : {false, true}) {
+      Scenario s = makeBase(hb ? "churn-open-hb" : "churn-open",
+                            LatencyPreset::kWan);
+      if (hb) s.config.stack.fdKind = fd::FdKind::kHeartbeat;
+      s.config.stack.bootstrap.armed = true;
+      s.churn = ChurnSpec{};
+      s.workload->model = workload::Model::kOpenLoopPoisson;
+      s.workload->meanGap = 600 * kMs;
+      s.workload->count = opt.casts + 20;
+      s.runUntil = v2Horizon;
+      s.withDefaultExpectations();
+      s.expect.minDeliveries = 1;
+      out.push_back(std::move(s));
+    }
   }
 
   return out;

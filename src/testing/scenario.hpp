@@ -15,6 +15,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -80,6 +81,22 @@ struct RandomRecoveries {
   uint64_t salt = 0x9ec0;  // folded with the scenario seed
 };
 
+// Seed-derived long-horizon churn: `cycles` consecutive crash+recover
+// cycles, one victim per cycle, the c-th crash at exactly
+// start + c * period and its recovery after a downtime drawn uniformly
+// from [downMin, downMax]. downMax < period keeps at most one process
+// down at any instant, so every group retains a live majority throughout.
+// Victims are drawn (per cycle, seed-derived) from groups large enough
+// that one crash is still a strict minority.
+struct ChurnSpec {
+  int cycles = 6;
+  SimTime start = 2 * kSec;
+  SimTime period = 2500 * kMs;
+  SimTime downMin = 400 * kMs;
+  SimTime downMax = kSec;
+  uint64_t salt = 0xc0a7;  // folded with the scenario seed
+};
+
 // Cut the groups in `side` off from the rest of the topology during
 // [from, until) — copies sent across the cut are dropped deterministically
 // and the link heals at `until` (kTimeNever: never heals).
@@ -132,6 +149,11 @@ struct DropSpec {
 [[nodiscard]] std::vector<PartitionSpec> materializePartitions(
     const Topology& topo, const RandomPartitions& plan, uint64_t seed);
 
+// Materialize a churn plan against a topology: paired crash and recovery
+// schedules of equal length, in cycle order. Exposed for determinism tests.
+[[nodiscard]] std::pair<std::vector<CrashSpec>, std::vector<RecoverSpec>>
+materializeChurn(const Topology& topo, const ChurnSpec& plan, uint64_t seed);
+
 // ---------------------------------------------------------------------------
 // Property expectations.
 // ---------------------------------------------------------------------------
@@ -165,10 +187,13 @@ struct ProtocolTraits {
   // NEW messages (those cast after its recovery)? Protocols that gate
   // delivery on state the dead incarnation held (sequencer epochs, merge
   // frontiers, missed consensus instances) do not; set from observed
-  // behavior under the recover matrix cells.
+  // behavior under the recover matrix cells. With the bootstrap plane
+  // armed (StackConfig::bootstrap) the state transfer closes exactly that
+  // gap, so EVERY stack rejoins — pass bootstrapArmed to traitsOf.
   bool recoveredRejoins = false;
 };
-[[nodiscard]] ProtocolTraits traitsOf(core::ProtocolKind kind);
+[[nodiscard]] ProtocolTraits traitsOf(core::ProtocolKind kind,
+                                      bool bootstrapArmed = false);
 
 // Short identifier-safe protocol name for parameterized gtest suites
 // (core::protocolName contains spaces/brackets, which gtest rejects).
@@ -203,6 +228,7 @@ struct Scenario {
   std::optional<RandomCrashes> randomCrashes;  // + seed-derived crashes
   std::vector<RecoverSpec> recoveries;      // scripted recovery schedule
   std::optional<RandomRecoveries> randomRecoveries;  // + seed-derived
+  std::optional<ChurnSpec> churn;           // + seed-derived churn cycles
   std::vector<PartitionSpec> partitions;    // scripted partition windows
   std::optional<RandomPartitions> randomPartitions;  // + seed-derived
   std::vector<DropSpec> drops;

@@ -1,0 +1,249 @@
+// Bootstrap plane tests: recovery state transfer (src/bootstrap/).
+//
+// The rejoin contract under test: a recovered process requests an
+// order-state snapshot plus delivery suffix from a live donor, installs it,
+// and resumes as a full protocol participant — for EVERY protocol stack.
+// The adversity tests pin the handshake's failure paths: donor crash
+// mid-transfer (retry), rejoin inside an unhealed partition (no completion
+// until heal), a second crash racing the offer (stale-session drop), and a
+// joining donor (deny + advance).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "testing/scenario.hpp"
+#include "verify/properties.hpp"
+
+namespace wanmc {
+namespace {
+
+using core::Experiment;
+using core::ProtocolKind;
+using core::RunConfig;
+
+RunConfig cfg(ProtocolKind kind, int groups, int procs, uint64_t seed = 1) {
+  RunConfig c;
+  c.groups = groups;
+  c.procsPerGroup = procs;
+  c.seed = seed;
+  c.protocol = kind;
+  c.latency = sim::LatencyModel{kMs, 2 * kMs, 95 * kMs, 110 * kMs};
+  c.stack.fdOracleDelay = 30 * kMs;
+  c.stack.bootstrap.armed = true;
+  // Liveness under crash-recovery: an amnesiac rejoin can be a silent
+  // consensus coordinator; only a round timeout moves the round on.
+  c.stack.consensusRoundTimeout = 500 * kMs;
+  return c;
+}
+
+// The recovered process's delivery sequence from `since` on (i.e. the new
+// incarnation's sequence: replay + everything it earned afterwards).
+std::vector<MsgId> sequenceSince(const core::RunResult& r, ProcessId pid,
+                                 SimTime since) {
+  std::vector<MsgId> out;
+  for (const DeliveryEvent& d : r.trace.deliveries)
+    if (d.process == pid && d.when >= since) out.push_back(d.msg);
+  return out;
+}
+
+void expectRejoinSafe(const core::RunResult& r, const std::string& tag) {
+  auto ctx = r.checkContext();
+  for (auto&& v : verify::checkUniformIntegrity(ctx))
+    ADD_FAILURE() << tag << ": " << v;
+  for (auto&& v : verify::checkRecoveredDelivery(ctx))
+    ADD_FAILURE() << tag << ": " << v;
+}
+
+// ---------------------------------------------------------------------------
+// Per-protocol rejoin smoke: with the plane armed, a crash+recover cycle
+// ends with the rejoiner holding its donor's full sequence and earning its
+// own deliveries afterwards — for all ten stacks.
+// ---------------------------------------------------------------------------
+
+class RejoinSmoke : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(RejoinSmoke, RecoveredProcessRejoins) {
+  const ProtocolKind kind = GetParam();
+  Experiment ex(cfg(kind, 2, 3));
+  const SimTime recoverAt = 800 * kMs;
+  ex.crashAt(1, 300 * kMs);
+  ex.recoverAt(1, recoverAt);
+  auto cast = [&](SimTime when, ProcessId sender) {
+    if (core::isBroadcastProtocol(kind)) return ex.castAllAt(when, sender);
+    return ex.castAt(when, sender, GroupSet::of({0, 1}));
+  };
+  cast(100 * kMs, 0);       // delivered before the crash
+  cast(500 * kMs, 3);       // cast while p1 is down
+  cast(2 * kSec, 2);        // cast after the install
+  const MsgId last = cast(2500 * kMs, 4);
+  auto r = ex.run(120 * kSec);
+
+  expectRejoinSafe(r, protocolName(kind));
+  ASSERT_GE(r.rejoins.size(), 1u) << protocolName(kind);
+  EXPECT_EQ(r.rejoins[0].pid, 1);
+  EXPECT_GE(r.metrics.bootstrap.snapshotsInstalled, 1u);
+  EXPECT_GE(r.metrics.bootstrap.snapshotsServed, 1u);
+  EXPECT_GT(r.metrics.bootstrap.snapshotBytes, 0u);
+
+  // The new incarnation's sequence equals a never-crashed groupmate's full
+  // sequence: the replay reproduced the donor's history and the rejoined
+  // protocol earned the rest on its own.
+  const auto seqs = r.trace.sequences();
+  const auto mine = sequenceSince(r, 1, recoverAt);
+  EXPECT_EQ(mine, seqs.at(2)) << protocolName(kind);
+  EXPECT_TRUE(std::find(mine.begin(), mine.end(), last) != mine.end());
+
+  // Catch-up accounting: the install happened within the settle window
+  // plus one request round-trip, and the rejoiner delivered after it.
+  const auto& rj = r.rejoins[0];
+  EXPECT_GE(rj.installedAt, recoverAt);
+  EXPECT_LE(rj.installedAt, recoverAt + kSec);
+  EXPECT_GT(rj.firstDeliveryAfter, rj.installedAt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, RejoinSmoke,
+    ::testing::Values(ProtocolKind::kA1, ProtocolKind::kFritzke98,
+                      ProtocolKind::kDelporte00, ProtocolKind::kRodrigues98,
+                      ProtocolKind::kViaBcast, ProtocolKind::kSkeen87,
+                      ProtocolKind::kA2, ProtocolKind::kSousa02,
+                      ProtocolKind::kVicente02, ProtocolKind::kDetMerge00),
+    [](const auto& info) {
+      return wanmc::testing::protocolTestName(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// Adversity: the handshake's failure paths.
+// ---------------------------------------------------------------------------
+
+TEST(BootstrapAdversity, DonorCrashMidTransferRetriesNextCandidate) {
+  // One group of three. p1 rejoins and asks p0 (first candidate); p0 dies
+  // with the request in flight. The retry timer must advance to p2.
+  Experiment ex(cfg(ProtocolKind::kA1, 1, 3));
+  ex.castAt(100 * kMs, 0, GroupSet::of({0}));
+  ex.crashAt(1, 300 * kMs);
+  ex.recoverAt(1, 800 * kMs);
+  // settle = interMax + intraMax + slack = 162 ms: the request leaves at
+  // t=962 ms and needs 1-2 ms to p0. Crash p0 at 962.5 ms: after the send,
+  // before the arrival.
+  ex.crashAt(0, 962 * kMs + 500);
+  ex.castAt(2 * kSec, 2, GroupSet::of({0}));
+  auto r = ex.run(120 * kSec);
+
+  expectRejoinSafe(r, "donor-crash");
+  EXPECT_GE(r.metrics.bootstrap.retries, 1u);
+  EXPECT_GE(r.metrics.bootstrap.snapshotsRequested, 2u);
+  EXPECT_EQ(r.metrics.bootstrap.snapshotsInstalled, 1u);
+  ASSERT_EQ(r.rejoins.size(), 1u);
+  // Both post-install survivors (p1 rejoined, p2 correct) hold everything.
+  const auto seqs = r.trace.sequences();
+  EXPECT_EQ(sequenceSince(r, 1, 800 * kMs), seqs.at(2));
+}
+
+TEST(BootstrapAdversity, RejoinInsidePartitionCompletesAfterHeal) {
+  // p0 is alone in group 0 (so every donor is cross-group) and rejoins
+  // while its group is cut off. No offer can land before the heal; the
+  // retry loop must carry the handshake across it. Reliable channels are
+  // armed so protocol traffic lost in the cut is retransmitted — the
+  // substrate this plane is designed to sit on.
+  RunConfig c = cfg(ProtocolKind::kVicente02, 2, 2);
+  c.groupSizes = {1, 2};
+  c.stack.reliableChannels = true;
+  Experiment ex(c);
+  const SimTime heal = 3 * kSec;
+  ex.castAllAt(100 * kMs, 1);
+  ex.crashAt(0, 300 * kMs);
+  ex.recoverAt(0, 800 * kMs);
+  ex.partitionAt(GroupSet::of({0}), 700 * kMs, heal);
+  ex.castAllAt(4 * kSec, 2);
+  auto r = ex.run(120 * kSec);
+
+  expectRejoinSafe(r, "partition-rejoin");
+  EXPECT_GE(r.metrics.bootstrap.retries, 1u);
+  ASSERT_GE(r.rejoins.size(), 1u);
+  EXPECT_EQ(r.rejoins[0].pid, 0);
+  // The snapshot could only cross the link once the partition healed.
+  EXPECT_GE(r.rejoins[0].installedAt, heal);
+  const auto seqs = r.trace.sequences();
+  EXPECT_EQ(sequenceSince(r, 0, 800 * kMs), seqs.at(2));
+}
+
+TEST(BootstrapAdversity, SecondCrashDropsStaleOfferAndRestartsHandshake) {
+  // p1 rejoins, requests, then crashes AGAIN with the offer in flight and
+  // recovers immediately. The offer reaches the third incarnation carrying
+  // the second incarnation's session: it must be dropped as stale, and the
+  // fresh handshake must install on its own.
+  Experiment ex(cfg(ProtocolKind::kA1, 2, 3));
+  ex.castAt(100 * kMs, 0, GroupSet::of({0, 1}));
+  ex.crashAt(1, 300 * kMs);
+  ex.recoverAt(1, 800 * kMs);
+  // Request leaves at 962 ms; the offer returns ~964-966 ms. Crash in
+  // between and recover before it lands.
+  ex.crashAt(1, 962 * kMs + 200);
+  ex.recoverAt(1, 962 * kMs + 400);
+  ex.castAt(2 * kSec, 2, GroupSet::of({0, 1}));
+  auto r = ex.run(120 * kSec);
+
+  expectRejoinSafe(r, "second-crash");
+  EXPECT_EQ(r.metrics.bootstrap.staleDropped, 1u);
+  EXPECT_EQ(r.metrics.bootstrap.snapshotsInstalled, 1u);
+  ASSERT_EQ(r.rejoins.size(), 1u);
+  EXPECT_EQ(r.rejoins[0].pid, 1);
+  const auto seqs = r.trace.sequences();
+  EXPECT_EQ(sequenceSince(r, 1, 962 * kMs + 400), seqs.at(2));
+}
+
+TEST(BootstrapAdversity, JoiningDonorDeniesAndRejoinerAdvances) {
+  // Both members of group 0 rejoin, staggered. Each one's first candidate
+  // is its (still joining) groupmate, which must deny; the deny advances
+  // the rejoiner to a cross-group donor immediately, without waiting out
+  // the retry timer. The oracle delay is pushed past the downtime so the
+  // crashed pair recovers before anyone suspected it: no retraction, no
+  // donor announcement — the candidate list alone picks the target.
+  RunConfig c = cfg(ProtocolKind::kA1, 2, 2);
+  c.stack.fdOracleDelay = 10 * kSec;
+  Experiment ex(c);
+  ex.castAt(100 * kMs, 2, GroupSet::of({0, 1}));
+  ex.crashAt(0, 400 * kMs);
+  ex.crashAt(1, 400 * kMs);
+  ex.recoverAt(0, 640 * kMs);   // requests p1 at ~803 ms: p1 joins at 800
+  ex.recoverAt(1, 800 * kMs);   // requests p0 at ~963 ms: p0 installs ~1010
+  ex.castAt(2 * kSec, 2, GroupSet::of({0, 1}));
+  ex.castAt(2500 * kMs, 3, GroupSet::of({0, 1}));
+  auto r = ex.run(120 * kSec);
+
+  expectRejoinSafe(r, "joining-donor");
+  EXPECT_EQ(r.metrics.bootstrap.denies, 2u);
+  EXPECT_EQ(r.metrics.bootstrap.snapshotsInstalled, 2u);
+  EXPECT_EQ(r.rejoins.size(), 2u);
+  const auto seqs = r.trace.sequences();
+  EXPECT_EQ(sequenceSince(r, 0, 640 * kMs), seqs.at(3));
+  EXPECT_EQ(sequenceSince(r, 1, 800 * kMs), seqs.at(3));
+}
+
+// ---------------------------------------------------------------------------
+// Unarmed: the plane does not exist, nothing changes.
+// ---------------------------------------------------------------------------
+
+TEST(BootstrapUnarmed, NoPlaneNoTrafficNoRejoins) {
+  RunConfig c = cfg(ProtocolKind::kA1, 2, 3);
+  c.stack.bootstrap.armed = false;
+  Experiment ex(c);
+  ex.crashAt(1, 300 * kMs);
+  ex.recoverAt(1, 800 * kMs);
+  ex.castAt(100 * kMs, 0, GroupSet::of({0, 1}));
+  ex.castAt(2 * kSec, 2, GroupSet::of({0, 1}));
+  auto r = ex.run(60 * kSec);
+
+  EXPECT_TRUE(r.rejoins.empty());
+  EXPECT_EQ(r.metrics.bootstrap, BootstrapStats{});
+  const auto& boot =
+      r.traffic.perLayer[static_cast<size_t>(Layer::kBootstrap)];
+  EXPECT_EQ(boot.intra, 0u);
+  EXPECT_EQ(boot.inter, 0u);
+}
+
+}  // namespace
+}  // namespace wanmc

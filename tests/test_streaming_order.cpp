@@ -56,13 +56,15 @@ TEST(StreamingOrder, MatchesTraceCheckersOnFullStandardMatrix) {
                 verify::checkPrefixOrderCorrectOnly(ctx))
           << res.name;
       // And the metrics plane: streaming Summary == trace rescan. The
-      // channel-substrate block is maintained by the channel plane and
-      // injected at harvest — like lastAlgoSend it is not reconstructible
-      // from the trace, so the rescan oracle takes it verbatim.
+      // channel-substrate and bootstrap blocks are maintained by their
+      // planes and injected at harvest — like lastAlgoSend they are not
+      // reconstructible from the trace, so the rescan oracle takes them
+      // verbatim.
       metrics::Summary rescan = metrics::summarizeTrace(
           res.run.trace, res.run.topo, res.run.traffic,
           res.run.lastAlgoSend, res.run.endTime);
       rescan.channels = res.run.metrics.channels;
+      rescan.bootstrap = res.run.metrics.bootstrap;
       EXPECT_EQ(res.run.metrics, rescan) << res.name;
     }
   }

@@ -1,0 +1,37 @@
+// scope: src/fixture/d4_bootstrap_retry.cpp
+// The bootstrap rejoin handshake re-issues its snapshot request when no
+// offer lands in time. Arming that retry with a raw Scheduler::at is the
+// D4 hazard in its sharpest form: the rejoiner is BY DEFINITION a fresh
+// incarnation, and if it crashes again before the retry fires, the
+// callback runs into the next incarnation's plane state (or freed
+// memory) and re-sends a request for a session that no longer exists.
+// The real plane (src/bootstrap/) arms every settle/retry timer through
+// Runtime::timer, which drops the event when the incarnation changed.
+// expect: D4
+namespace fixture {
+
+struct Scheduler {
+  template <class F>
+  void at(long when, F&& fn);
+};
+
+struct Runtime {
+  Scheduler& scheduler();
+  long now();
+};
+
+struct RejoinPlane {
+  Runtime& rt;
+  int pid;
+  unsigned session;
+
+  void sendRequest(unsigned attempt);
+
+  void armRetry(unsigned attempt) {
+    rt.scheduler().at(rt.now() + 400, [this, attempt]() {  // D4: unguarded
+      sendRequest(attempt + 1);
+    });
+  }
+};
+
+}  // namespace fixture

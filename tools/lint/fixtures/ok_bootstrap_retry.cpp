@@ -1,0 +1,33 @@
+// scope: src/fixture/ok_bootstrap_retry.cpp
+// The guarded counterpart of d4_bootstrap_retry.cpp: the rejoin retry is
+// armed through Runtime::timer, whose TimerGuard captures the arming
+// incarnation and drops the fire when the process crashed (or crashed
+// and recovered again) in between. This is the idiom the live bootstrap
+// plane uses for its settle and retry timers; D4 must stay quiet on it.
+namespace fixture {
+
+template <class F>
+struct TimerGuard;
+
+struct Runtime {
+  // Incarnation-guarded one-shot: the callback only runs if pid is still
+  // the same incarnation that armed it.
+  template <class F>
+  void timer(int pid, long delay, F&& fn);
+};
+
+struct RejoinPlane {
+  Runtime& rt;
+  int pid;
+  unsigned session;
+
+  void sendRequest(unsigned attempt);
+
+  void armRetry(unsigned attempt) {
+    rt.timer(pid, 400, [this, attempt]() {  // guarded: dropped on re-crash
+      sendRequest(attempt + 1);
+    });
+  }
+};
+
+}  // namespace fixture
