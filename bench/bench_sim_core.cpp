@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/runtime.hpp"
 #include "testing/scenario.hpp"
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "sim/runtime.hpp"
 #include "consensus/consensus.hpp"
 #include "rmcast/rmcast.hpp"
 

@@ -67,6 +67,7 @@
 
 #include "core/experiment.hpp"
 #include "core/export.hpp"
+#include "core/run_options.hpp"
 #include "metrics/sweep.hpp"
 #include "workload/spec.hpp"
 
@@ -80,21 +81,6 @@ workload::Model parseModel(const std::string& s) {
         workload::Model::kOpenLoopPoisson, workload::Model::kBursty})
     if (s == workload::modelName(m)) return m;
   std::fprintf(stderr, "unknown workload model '%s'\n", s.c_str());
-  std::exit(2);
-}
-
-core::ProtocolKind parseProtocol(const std::string& s) {
-  if (s == "a1") return core::ProtocolKind::kA1;
-  if (s == "fritzke98") return core::ProtocolKind::kFritzke98;
-  if (s == "delporte00") return core::ProtocolKind::kDelporte00;
-  if (s == "rodrigues98") return core::ProtocolKind::kRodrigues98;
-  if (s == "skeen87") return core::ProtocolKind::kSkeen87;
-  if (s == "viabcast") return core::ProtocolKind::kViaBcast;
-  if (s == "a2") return core::ProtocolKind::kA2;
-  if (s == "sousa02") return core::ProtocolKind::kSousa02;
-  if (s == "vicente02") return core::ProtocolKind::kVicente02;
-  if (s == "detmerge00") return core::ProtocolKind::kDetMerge00;
-  std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
   std::exit(2);
 }
 
@@ -242,8 +228,8 @@ int checkSweepBaseline(const std::vector<metrics::SweepPoint>& points,
 // `wanmc_cli sweep ...`: the closed-loop offered-load ladder, one
 // latency-vs-throughput CSV row per load point (metrics/sweep.hpp).
 int sweepMain(int argc, char** argv) {
+  core::RunOptions ro;  // the shared knobs, parsed/validated in one place
   metrics::SweepOptions opt;
-  opt.base.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
   int points = 7;
   SimTime slowest = 256 * kMs;
   SimTime fastest = 4 * kMs;
@@ -260,14 +246,8 @@ int sweepMain(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--protocol") opt.base.protocol = parseProtocol(next());
-    else if (arg == "--groups") opt.base.groups = std::atoi(next().c_str());
-    else if (arg == "--procs")
-      opt.base.procsPerGroup = std::atoi(next().c_str());
-    else if (arg == "--seed")
-      opt.firstSeed = std::strtoull(next().c_str(), nullptr, 10);
-    else if (arg == "--dest-groups") opt.destGroups = std::atoi(next().c_str());
-    else if (arg == "--points") points = std::atoi(next().c_str());
+    if (ro.consumeFlag(arg, next)) continue;
+    if (arg == "--points") points = std::atoi(next().c_str());
     else if (arg == "--casts") opt.casts = std::atoi(next().c_str());
     else if (arg == "--cap") opt.inFlightCap = std::atoi(next().c_str());
     else if (arg == "--seeds") opt.seedsPerPoint = std::atoi(next().c_str());
@@ -276,21 +256,7 @@ int sweepMain(int argc, char** argv) {
       slowest = std::atoi(next().c_str()) * kMs;
     else if (arg == "--interval-min-ms")
       fastest = std::atoi(next().c_str()) * kMs;
-    else if (arg == "--inter-ms") {
-      const SimTime v = std::atoi(next().c_str()) * kMs;
-      opt.base.latency.interMin = opt.base.latency.interMax = v;
-    } else if (arg == "--intra-us") {
-      const SimTime v = std::atoi(next().c_str());
-      opt.base.latency.intraMin = opt.base.latency.intraMax = v;
-    } else if (arg == "--batch-window") {
-      opt.base.stack.batchWindow = std::atoi(next().c_str()) * kMs;
-    } else if (arg == "--batch-max") {
-      opt.base.stack.batchMaxSize = std::atoi(next().c_str());
-    } else if (arg == "--loss") {
-      opt.base.lossRate = std::atof(next().c_str());
-    } else if (arg == "--reliable-channels") {
-      opt.base.stack.reliableChannels = true;
-    } else if (arg == "--csv-out") {
+    else if (arg == "--csv-out") {
       csvOut = next();
     } else if (arg == "--check-baseline") {
       baseline = next();
@@ -298,13 +264,11 @@ int sweepMain(int argc, char** argv) {
       tolerance = std::atof(next().c_str());
     } else if (arg == "--help") {
       std::printf(
-          "usage: wanmc_cli sweep [--protocol P] [--groups N] [--procs D] "
-          "[--points K] [--casts M] [--cap C] [--seeds S] [--jobs J] "
-          "[--dest-groups G] [--interval-max-ms A] [--interval-min-ms B] "
-          "[--seed S] [--inter-ms L] [--intra-us U] [--batch-window MS] "
-          "[--batch-max N] [--loss P] [--reliable-channels] "
-          "[--csv-out FILE] "
-          "[--check-baseline FILE [--tolerance F]]\n");
+          "usage: wanmc_cli sweep %s\n"
+          "         [--points K] [--casts M] [--cap C] [--seeds S] "
+          "[--jobs J] [--interval-max-ms A] [--interval-min-ms B] "
+          "[--csv-out FILE] [--check-baseline FILE [--tolerance F]]\n",
+          core::RunOptions::flagHelp());
       return 0;
     } else {
       std::fprintf(stderr, "unknown sweep flag '%s' (try sweep --help)\n",
@@ -324,13 +288,22 @@ int sweepMain(int argc, char** argv) {
     std::fprintf(stderr, "sweep: --tolerance must be positive\n");
     return 2;
   }
-  if (opt.base.lossRate < 0 || opt.base.lossRate >= 1) {
-    std::fprintf(stderr, "sweep: --loss must be in [0,1), got %g\n",
-                 opt.base.lossRate);
+  try {
+    opt.base = ro.toRunConfig();  // validates the shared knobs
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "sweep: %s\n", e.what());
     return 2;
   }
+  opt.firstSeed = ro.seed;
+  opt.destGroups = ro.destGroups;
   opt.intervals = metrics::defaultLoadLadder(points, slowest, fastest);
-  const auto curve = metrics::runLatencyThroughputSweep(opt);
+  std::vector<metrics::SweepPoint> curve;
+  try {
+    curve = metrics::runLatencyThroughputSweep(opt);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "sweep: %s\n", e.what());
+    return 2;
+  }
   std::ostringstream os;
   metrics::writeSweepCsv(curve, os);
   std::fputs(os.str().c_str(), stdout);
@@ -346,8 +319,7 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
     return sweepMain(argc - 2, argv + 2);
 
-  core::RunConfig cfg;
-  cfg.latency = sim::LatencyModel::fixed(kMs, 100 * kMs);
+  core::RunOptions ro;  // the shared knobs, parsed/validated in one place
   workload::Spec spec = workload::Spec::closedLoop(20, 40 * kMs);
   std::string format = "summary";
   std::string jsonOut;
@@ -366,17 +338,12 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--protocol") cfg.protocol = parseProtocol(next());
-    else if (arg == "--groups") cfg.groups = std::atoi(next().c_str());
-    else if (arg == "--procs") cfg.procsPerGroup = std::atoi(next().c_str());
-    else if (arg == "--seed") cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
-    else if (arg == "--msgs") spec.count = std::atoi(next().c_str());
+    if (ro.consumeFlag(arg, next)) continue;
+    if (arg == "--msgs") spec.count = std::atoi(next().c_str());
     else if (arg == "--interval-ms") {
       const SimTime v = std::atoi(next().c_str()) * kMs;
       spec.interval = spec.meanGap = v;  // one knob for either model family
-    } else if (arg == "--dest-groups")
-      spec.destGroups = std::atoi(next().c_str());
-    else if (arg == "--workload") spec.model = parseModel(next());
+    } else if (arg == "--workload") spec.model = parseModel(next());
     else if (arg == "--cap") spec.inFlightCap = std::atoi(next().c_str());
     else if (arg == "--zipf-sender")
       spec.senderZipf = std::atof(next().c_str());
@@ -395,20 +362,6 @@ int main(int argc, char** argv) {
         return 2;
       }
       spec = *parsed;
-    } else if (arg == "--inter-ms") {
-      const SimTime v = std::atoi(next().c_str()) * kMs;
-      cfg.latency.interMin = cfg.latency.interMax = v;
-    } else if (arg == "--intra-us") {
-      const SimTime v = std::atoi(next().c_str());
-      cfg.latency.intraMin = cfg.latency.intraMax = v;
-    } else if (arg == "--batch-window") {
-      cfg.stack.batchWindow = std::atoi(next().c_str()) * kMs;
-    } else if (arg == "--batch-max") {
-      cfg.stack.batchMaxSize = std::atoi(next().c_str());
-    } else if (arg == "--loss") {
-      cfg.lossRate = std::atof(next().c_str());
-    } else if (arg == "--reliable-channels") {
-      cfg.stack.reliableChannels = true;
     } else if (arg == "--format") {
       format = next();
     } else if (arg == "--json-out") {
@@ -430,27 +383,34 @@ int main(int argc, char** argv) {
       }
       churns.push_back(parsed);
     } else if (arg == "--help") {
-      std::printf("usage: wanmc_cli [sweep] [--protocol P] [--groups N] "
-                  "[--procs D] "
-                  "[--msgs M] [--interval-ms I] [--dest-groups K] "
+      std::printf("usage: wanmc_cli [sweep] %s\n"
+                  "         [--msgs M] [--interval-ms I] "
                   "[--workload closed-loop|open-fixed|open-poisson|bursty] "
                   "[--cap C] [--zipf-sender S] [--zipf-dest S] "
                   "[--burst-on-ms A] [--burst-off-ms B] [--burst-gap-ms G] "
                   "[--workload-spec \"MODEL k=v ...\"] "
-                  "[--seed S] [--inter-ms L] [--intra-us U] "
-                  "[--batch-window MS] [--batch-max N] [--loss P] "
-                  "[--reliable-channels] [--crash pid:ms] "
+                  "[--crash pid:ms] "
                   "[--recover pid:ms] [--churn pid:periodMs] "
                   "[--partition g,g:fromMs:untilMs|never] "
                   "[--format summary|deliveries|latency] "
                   "[--json-out FILE] [--csv-out FILE]\n"
-                  "       wanmc_cli sweep --help   for the sweep flags\n");
+                  "       wanmc_cli sweep --help   for the sweep flags\n",
+                  core::RunOptions::flagHelp());
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
       return 2;
     }
   }
+
+  core::RunConfig cfg;
+  try {
+    cfg = ro.toRunConfig();  // validates the shared knobs
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  spec.destGroups = ro.destGroups;
 
   // Recovery runs need the consensus round timeout armed (see
   // StackConfig::consensusRoundTimeout) — same default ScenarioRunner uses.
@@ -482,18 +442,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (cfg.lossRate < 0 || cfg.lossRate >= 1) {
-    std::fprintf(stderr, "--loss must be in [0,1), got %g\n", cfg.lossRate);
+  // The Experiment ctor rejects sim-only axes on the threaded backend
+  // (validateBackend) — surface that as a usage error, not an abort.
+  std::optional<core::Experiment> exOpt;
+  try {
+    exOpt.emplace(cfg);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-
-  core::Experiment ex(cfg);
+  core::Experiment& ex = *exOpt;
   try {
     for (auto [pid, when] : crashes) ex.crashAt(pid, when);
     for (auto [pid, when] : recoveries) ex.recoverAt(pid, when);
     for (const auto& p : partitions) ex.partitionAt(p.side, p.from, p.until);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "invalid fault schedule: %s\n", e.what());
+    return 2;
+  } catch (const std::logic_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
   ex.addWorkload(spec);

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Simulator hot-path benchmark runner.
 #
-#   scripts/bench.sh                     full run, writes BENCH_PR9.json
+#   scripts/bench.sh                     full run, writes BENCH_PR10.json
 #   scripts/bench.sh --quick             reduced budget (CI smoke)
 #   scripts/bench.sh --check FILE        also gate events/sec against FILE
 #                                        (exit 1 on >20% regression, on
@@ -24,7 +24,7 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ -z "${OUT:-}" ]]; then
   case " $* " in
     *" --check "*) OUT="$BUILD_DIR/bench_report.json" ;;
-    *)             OUT="BENCH_PR9.json" ;;
+    *)             OUT="BENCH_PR10.json" ;;
   esac
 fi
 

@@ -30,7 +30,7 @@ case "$TIER" in
   scenario) ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L scenario ;;
   bench)
     OUT="$BUILD_DIR/bench_smoke.json" scripts/bench.sh --quick \
-      --check BENCH_PR9.json
+      --check BENCH_PR10.json
     ;;
   sanitize)
     ASAN_DIR="${ASAN_DIR:-build-asan}"
@@ -65,6 +65,10 @@ case "$TIER" in
     # golden matrix and the sweeps genuinely exercise the threaded paths.
     WANMC_JOBS=4 "$TSAN_DIR/test_golden_fingerprints"
     WANMC_JOBS=4 "$TSAN_DIR/test_seed_sweep"
+    # The exec::ThreadedRuntime backend: one matrix cell per stack on both
+    # backends, same safety properties demanded of each (the CI
+    # threaded-smoke job).
+    "$TSAN_DIR/test_exec_backends"
     ;;
   *)
     echo "usage: $0 [all|unit|scenario|bench|sanitize|lint|tsan]" >&2

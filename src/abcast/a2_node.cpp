@@ -5,7 +5,7 @@
 
 namespace wanmc::abcast {
 
-A2Node::A2Node(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg,
+A2Node::A2Node(exec::Context& rt, ProcessId pid, const core::StackConfig& cfg,
                A2Options opts)
     : core::XcastNode(rt, pid, cfg), opts_(opts) {
   groupConsensus_ = &addGroupConsensus();

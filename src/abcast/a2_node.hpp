@@ -69,7 +69,7 @@ struct A2Options {
 
 class A2Node : public core::XcastNode {
  public:
-  A2Node(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg,
+  A2Node(exec::Context& rt, ProcessId pid, const core::StackConfig& cfg,
          A2Options opts = {});
 
   // A-BCast m (Task 1, lines 4-5): R-MCast m to the sender's own group.

@@ -7,7 +7,7 @@
 
 namespace wanmc::abcast {
 
-MergeNode::MergeNode(sim::Runtime& rt, ProcessId pid,
+MergeNode::MergeNode(exec::Context& rt, ProcessId pid,
                      const core::StackConfig& cfg, MergeOptions opts)
     : core::XcastNode(rt, pid, cfg),
       opts_(opts),

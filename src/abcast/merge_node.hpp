@@ -54,7 +54,7 @@ struct MergeOptions {
 
 class MergeNode final : public core::XcastNode {
  public:
-  MergeNode(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg,
+  MergeNode(exec::Context& rt, ProcessId pid, const core::StackConfig& cfg,
             MergeOptions opts = {});
 
   void xcast(const AppMsgPtr& m) override;

@@ -6,7 +6,7 @@
 
 namespace wanmc::abcast {
 
-SequencerNode::SequencerNode(sim::Runtime& rt, ProcessId pid,
+SequencerNode::SequencerNode(exec::Context& rt, ProcessId pid,
                              const core::StackConfig& cfg,
                              SequencerMode mode)
     : core::XcastNode(rt, pid, cfg), mode_(mode) {

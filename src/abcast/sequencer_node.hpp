@@ -52,7 +52,7 @@ enum class SequencerMode {
 
 class SequencerNode final : public core::XcastNode {
  public:
-  SequencerNode(sim::Runtime& rt, ProcessId pid,
+  SequencerNode(exec::Context& rt, ProcessId pid,
                 const core::StackConfig& cfg, SequencerMode mode);
 
   void xcast(const AppMsgPtr& m) override;

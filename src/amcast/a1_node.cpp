@@ -5,7 +5,7 @@
 
 namespace wanmc::amcast {
 
-A1Node::A1Node(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg,
+A1Node::A1Node(exec::Context& rt, ProcessId pid, const core::StackConfig& cfg,
                A1Options opts)
     : core::XcastNode(rt, pid, cfg), opts_(opts) {
   groupConsensus_ = &addGroupConsensus();

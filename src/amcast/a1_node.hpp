@@ -59,7 +59,7 @@ struct A1Options {
 
 class A1Node final : public core::XcastNode {
  public:
-  A1Node(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg,
+  A1Node(exec::Context& rt, ProcessId pid, const core::StackConfig& cfg,
          A1Options opts = {});
 
   // A-MCast m to the groups in m->dest (Task 1, lines 8-9).

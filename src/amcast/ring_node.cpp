@@ -6,7 +6,7 @@
 
 namespace wanmc::amcast {
 
-RingNode::RingNode(sim::Runtime& rt, ProcessId pid,
+RingNode::RingNode(exec::Context& rt, ProcessId pid,
                    const core::StackConfig& cfg)
     : core::XcastNode(rt, pid, cfg) {
   groupConsensus_ = &addGroupConsensus();

@@ -48,7 +48,7 @@ struct RingPayload final : Payload {
 
 class RingNode final : public core::XcastNode {
  public:
-  RingNode(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg);
+  RingNode(exec::Context& rt, ProcessId pid, const core::StackConfig& cfg);
 
   void xcast(const AppMsgPtr& m) override;
 

@@ -5,7 +5,7 @@
 
 namespace wanmc::amcast {
 
-RodriguesNode::RodriguesNode(sim::Runtime& rt, ProcessId pid,
+RodriguesNode::RodriguesNode(exec::Context& rt, ProcessId pid,
                              const core::StackConfig& cfg)
     : core::XcastNode(rt, pid, cfg) {
   // Votes and consensus run ACROSS the destination groups, so suspicion of

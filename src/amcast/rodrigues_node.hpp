@@ -55,7 +55,7 @@ class RodriguesNode final : public core::XcastNode {
  public:
   static constexpr uint64_t kScopeBase = 1u << 20;
 
-  RodriguesNode(sim::Runtime& rt, ProcessId pid,
+  RodriguesNode(exec::Context& rt, ProcessId pid,
                 const core::StackConfig& cfg);
 
   void xcast(const AppMsgPtr& m) override;

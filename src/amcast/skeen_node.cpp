@@ -5,7 +5,7 @@
 
 namespace wanmc::amcast {
 
-SkeenNode::SkeenNode(sim::Runtime& rt, ProcessId pid,
+SkeenNode::SkeenNode(exec::Context& rt, ProcessId pid,
                      const core::StackConfig& cfg)
     : core::XcastNode(rt, pid, cfg) {}
 

@@ -49,7 +49,7 @@ struct SkeenPayload final : Payload {
 
 class SkeenNode final : public core::XcastNode {
  public:
-  SkeenNode(sim::Runtime& rt, ProcessId pid, const core::StackConfig& cfg);
+  SkeenNode(exec::Context& rt, ProcessId pid, const core::StackConfig& cfg);
 
   void xcast(const AppMsgPtr& m) override;
 

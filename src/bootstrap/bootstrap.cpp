@@ -14,7 +14,7 @@ std::string BootstrapPayload::debugString() const {
   return std::string("boot-") + k + "(s" + std::to_string(session) + ")";
 }
 
-Plane::Plane(sim::Runtime& rt, Config cfg)
+Plane::Plane(exec::Context& rt, Config cfg)
     : rt_(rt),
       cfg_(cfg),
       // One settle window covers every copy that was in flight toward a

@@ -48,7 +48,7 @@
 #include "common/time.hpp"
 #include "common/trace.hpp"
 #include "fd/failure_detector.hpp"
-#include "sim/runtime.hpp"
+#include "exec/context.hpp"
 
 namespace wanmc::bootstrap {
 
@@ -90,7 +90,7 @@ struct Rejoin {
 
 class Plane {
  public:
-  Plane(sim::Runtime& rt, Config cfg);
+  Plane(exec::Context& rt, Config cfg);
 
   Plane(const Plane&) = delete;
   Plane& operator=(const Plane&) = delete;
@@ -133,7 +133,7 @@ class Plane {
     return eps_[static_cast<size_t>(pid)];
   }
 
-  sim::Runtime& rt_;
+  exec::Context& rt_;
   Config cfg_;
   SimTime settle_ = 0;
   std::vector<Endpoint> eps_;

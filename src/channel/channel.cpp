@@ -23,7 +23,7 @@ std::string AckPacket::debugString() const {
   return os.str();
 }
 
-Plane::Plane(sim::Runtime& rt, Config cfg)
+Plane::Plane(exec::Context& rt, Config cfg)
     : rt_(rt), cfg_(cfg), n_(rt.topology().numProcesses()) {
   const auto& lm = rt_.latencyModel();
   // One worst-case DATA + ACK round trip over the slowest link class, plus

@@ -49,7 +49,7 @@
 #include "common/message.hpp"
 #include "common/time.hpp"
 #include "common/trace.hpp"
-#include "sim/runtime.hpp"
+#include "exec/context.hpp"
 
 namespace wanmc::channel {
 
@@ -94,10 +94,10 @@ struct AckPacket final : Payload {
   [[nodiscard]] std::string debugString() const override;
 };
 
-class Plane final : public sim::ChannelHook {
+class Plane final : public exec::ChannelHook {
  public:
   // Does NOT install itself: the owner calls rt.setChannelHook(&plane).
-  Plane(sim::Runtime& rt, Config cfg);
+  Plane(exec::Context& rt, Config cfg);
 
   void onSend(ProcessId from, const std::vector<ProcessId>& tos,
               const PayloadPtr& payload, uint64_t sendTs) override;
@@ -159,7 +159,7 @@ class Plane final : public sim::ChannelHook {
   void sendAck(ProcessId self, ProcessId sender, const InLink& il,
                uint64_t nackFrom, uint64_t nackTo);
 
-  sim::Runtime& rt_;
+  exec::Context& rt_;
   Config cfg_;
   SimTime rto_ = 0;
   int n_ = 0;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <new>
 #include <utility>
 #include <vector>
@@ -21,7 +22,11 @@ namespace wanmc {
 
 class ArenaPool {
  public:
-  ArenaPool() = default;
+  // `threadSafe` guards the free lists with a mutex: required when payloads
+  // allocated on one thread are released on another (the threaded execution
+  // backend). The sim backend stays single-threaded and lock-free — the
+  // flag costs it one predictable branch per alloc/dealloc.
+  explicit ArenaPool(bool threadSafe = false) : threadSafe_(threadSafe) {}
   ArenaPool(const ArenaPool&) = delete;
   ArenaPool& operator=(const ArenaPool&) = delete;
   ~ArenaPool() {
@@ -35,6 +40,8 @@ class ArenaPool {
   }
 
   void* alloc(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    if (threadSafe_) lock.lock();
     for (auto& [size, head] : classes_) {
       if (size != n) continue;
       if (head == nullptr) break;
@@ -46,6 +53,8 @@ class ArenaPool {
   }
 
   void dealloc(void* p, size_t n) {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    if (threadSafe_) lock.lock();
     for (auto& [size, head] : classes_) {
       if (size != n) continue;
       auto* f = static_cast<Free*>(p);
@@ -67,6 +76,8 @@ class ArenaPool {
   };
   // A handful of distinct payload sizes per run; linear scan is cheapest.
   static constexpr size_t kMaxClasses = 8;
+  bool threadSafe_ = false;
+  std::mutex mu_;
   std::vector<std::pair<size_t, Free*>> classes_;
 };
 

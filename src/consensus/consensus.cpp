@@ -49,7 +49,7 @@ bool ConsensusService::maybeRetransmitDecision(ProcessId from, Instance k) {
 // EarlyConsensus
 // ===========================================================================
 
-EarlyConsensus::EarlyConsensus(sim::Runtime& rt, ProcessId self,
+EarlyConsensus::EarlyConsensus(exec::Context& rt, ProcessId self,
                                std::vector<ProcessId> members,
                                fd::FailureDetector* fd, uint64_t scope,
                                SimTime roundTimeout)
@@ -255,7 +255,7 @@ void EarlyConsensus::onSuspicion(ProcessId p) {
 // CtConsensus
 // ===========================================================================
 
-CtConsensus::CtConsensus(sim::Runtime& rt, ProcessId self,
+CtConsensus::CtConsensus(exec::Context& rt, ProcessId self,
                          std::vector<ProcessId> members,
                          fd::FailureDetector* fd, uint64_t scope,
                          SimTime roundTimeout)
@@ -452,7 +452,7 @@ void CtConsensus::onSuspicion(ProcessId p) {
 // ===========================================================================
 
 std::unique_ptr<ConsensusService> makeConsensus(
-    ConsensusKind kind, sim::Runtime& rt, ProcessId self,
+    ConsensusKind kind, exec::Context& rt, ProcessId self,
     std::vector<ProcessId> members, fd::FailureDetector* fd, uint64_t scope,
     SimTime roundTimeout) {
   switch (kind) {

@@ -35,7 +35,7 @@
 #include "common/ids.hpp"
 #include "common/message.hpp"
 #include "fd/failure_detector.hpp"
-#include "sim/runtime.hpp"
+#include "exec/context.hpp"
 
 namespace wanmc::consensus {
 
@@ -64,7 +64,7 @@ class ConsensusService {
   // round's coordinator can be alive (so never suspected) yet amnesiac
   // about the instance and silent forever. 0 (the default) relies purely
   // on failure-detector suspicion, the pre-v2 behavior.
-  ConsensusService(sim::Runtime& rt, ProcessId self,
+  ConsensusService(exec::Context& rt, ProcessId self,
                    std::vector<ProcessId> members, fd::FailureDetector* fd,
                    uint64_t scope, SimTime roundTimeout = 0)
       : rt_(rt),
@@ -127,7 +127,7 @@ class ConsensusService {
   // recovery keep their exact pre-v2 message traffic.
   bool maybeRetransmitDecision(ProcessId from, Instance k);
 
-  sim::Runtime& rt_;
+  exec::Context& rt_;
   ProcessId self_;
   std::vector<ProcessId> members_;
   fd::FailureDetector* fd_;
@@ -144,7 +144,7 @@ class ConsensusService {
 // ---------------------------------------------------------------------------
 class EarlyConsensus final : public ConsensusService {
  public:
-  EarlyConsensus(sim::Runtime& rt, ProcessId self,
+  EarlyConsensus(exec::Context& rt, ProcessId self,
                  std::vector<ProcessId> members, fd::FailureDetector* fd,
                  uint64_t scope, SimTime roundTimeout = 0);
 
@@ -193,7 +193,7 @@ class EarlyConsensus final : public ConsensusService {
 // ---------------------------------------------------------------------------
 class CtConsensus final : public ConsensusService {
  public:
-  CtConsensus(sim::Runtime& rt, ProcessId self,
+  CtConsensus(exec::Context& rt, ProcessId self,
               std::vector<ProcessId> members, fd::FailureDetector* fd,
               uint64_t scope, SimTime roundTimeout = 0);
 
@@ -239,7 +239,7 @@ class CtConsensus final : public ConsensusService {
 enum class ConsensusKind { kEarly, kCt };
 
 std::unique_ptr<ConsensusService> makeConsensus(
-    ConsensusKind kind, sim::Runtime& rt, ProcessId self,
+    ConsensusKind kind, exec::Context& rt, ProcessId self,
     std::vector<ProcessId> members, fd::FailureDetector* fd, uint64_t scope,
     SimTime roundTimeout = 0);
 

@@ -14,7 +14,7 @@ void BatchPlane::enqueue(ProcessId sender, const AppMsgPtr& m) {
     // The open batch was accumulated by a dead incarnation of the sender:
     // its casts die with it (never flushed, never delivered — safe, the
     // crashed sender is not correct). The fresh incarnation starts clean.
-    rt_.scheduler().cancel(it->second.timer);
+    rt_.harnessCancel(it->second.timer);
     open_.erase(it);
     it = open_.end();
   }
@@ -26,14 +26,14 @@ void BatchPlane::enqueue(ProcessId sender, const AppMsgPtr& m) {
     const uint64_t gen = o.gen;
     // wanmc-lint: allow(D4): onWindowExpiry checks the batch generation
     // and the sender incarnation; a dead incarnation's flush is dropped
-    o.timer = rt_.scheduler().at(
+    o.timer = rt_.harnessAt(
         rt_.now() + window_, [this, key, gen]() { onWindowExpiry(key, gen); });
     it = open_.emplace(key, std::move(o)).first;
   }
 
   it->second.casts.push_back(m);
   if (maxSize_ > 0 && static_cast<int>(it->second.casts.size()) >= maxSize_) {
-    rt_.scheduler().cancel(it->second.timer);
+    rt_.harnessCancel(it->second.timer);
     flushLocked(it);
   }
 }

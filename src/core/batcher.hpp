@@ -9,7 +9,7 @@
 // bound being reached, whichever is first.
 //
 // Crash semantics mirror the PR 5 castAt fix: the window-expiry timer is a
-// harness event (Scheduler::at), not an incarnation-bound process timer,
+// harness event (Context::harnessAt), not an incarnation-bound process timer,
 // but it guards itself — a batch opened by incarnation k of the sender is
 // dropped, not flushed, if the sender is crashed or reincarnated when the
 // window closes. Losing those casts is safe: a crashed sender is not
@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "common/message.hpp"
-#include "sim/runtime.hpp"
+#include "exec/context.hpp"
 
 namespace wanmc::core {
 
@@ -39,7 +39,7 @@ class BatchPlane {
   using FlushFn = std::function<void(ProcessId sender, GroupSet dest,
                                      std::vector<AppMsgPtr> casts)>;
 
-  BatchPlane(sim::Runtime& rt, SimTime window, int maxSize, FlushFn flush)
+  BatchPlane(exec::Context& rt, SimTime window, int maxSize, FlushFn flush)
       : rt_(rt), window_(window), maxSize_(maxSize),
         flush_(std::move(flush)) {}
 
@@ -63,13 +63,13 @@ class BatchPlane {
     GroupSet dest;
     uint32_t inc = 0;     // sender incarnation that opened the batch
     uint64_t gen = 0;     // disambiguates the expiry timer across reuse
-    sim::EventId timer = sim::kNoEvent;
+    exec::EventId timer = exec::kNoEvent;
   };
 
   void onWindowExpiry(Key key, uint64_t gen);
   void flushLocked(std::map<Key, Open>::iterator it);
 
-  sim::Runtime& rt_;
+  exec::Context& rt_;
   SimTime window_;
   int maxSize_;
   FlushFn flush_;

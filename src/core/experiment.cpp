@@ -14,6 +14,7 @@
 #include "amcast/viabcast_node.hpp"
 #include "common/batch.hpp"
 #include "core/batcher.hpp"
+#include "exec/threaded/threaded_runtime.hpp"
 #include "metrics/recorder.hpp"
 #include "workload/generator.hpp"
 
@@ -49,7 +50,7 @@ bool isBroadcastProtocol(ProtocolKind k) {
 
 namespace {
 
-std::unique_ptr<XcastNode> makeNode(ProtocolKind kind, sim::Runtime& rt,
+std::unique_ptr<XcastNode> makeNode(ProtocolKind kind, exec::Context& rt,
                                     ProcessId pid, const RunConfig& cfg) {
   StackConfig stack = cfg.stack;
   switch (kind) {
@@ -87,57 +88,105 @@ std::unique_ptr<XcastNode> makeNode(ProtocolKind kind, sim::Runtime& rt,
   return nullptr;
 }
 
+// Typed observer feeding capped closed-loop workloads their delivery
+// signal (the PR 3 addDeliveryObserver shim used to wrap this; the
+// registry is now the only path).
+class WorkloadDeliveryObserver final : public sim::RunObserver {
+ public:
+  explicit WorkloadDeliveryObserver(workload::Generator& gen) : gen_(gen) {}
+  void onDeliver(const DeliveryEvent& ev) override { gen_.onDelivered(ev.msg); }
+
+ private:
+  workload::Generator& gen_;
+};
+
 }  // namespace
+
+void Experiment::validateBackend() const {
+  if (cfg_.backend == exec::Backend::kSim) return;
+  auto reject = [](const char* what) {
+    std::ostringstream os;
+    os << "RunConfig: " << what
+       << " is a sim-backend feature; the threaded backend measures real "
+          "hardware and supports none of the deterministic injection axes";
+    throw std::invalid_argument(os.str());
+  };
+  if (cfg_.stack.reliableChannels) reject("stack.reliableChannels");
+  if (cfg_.stack.bootstrap.armed) reject("stack.bootstrap.armed");
+  if (cfg_.lossRate != 0) reject("lossRate");
+  if (cfg_.recordWire) reject("recordWire");
+  if (cfg_.workload && cfg_.workload->model == workload::Model::kClosedLoop &&
+      cfg_.workload->inFlightCap > 0)
+    reject("a capped closed-loop workload (delivery feedback)");
+}
 
 Experiment::Experiment(RunConfig cfg) : cfg_(cfg) {
   Topology topo = cfg_.groupSizes.empty()
                       ? Topology(cfg_.groups, cfg_.procsPerGroup)
                       : Topology(cfg_.groupSizes);
   cfg_.groups = topo.numGroups();
-  rt_ = std::make_unique<sim::Runtime>(topo, cfg_.latency, cfg_.seed);
-  rt_->setRecordWire(cfg_.recordWire);
-  // Registered before any node or workload so the measurement plane sees
-  // every event; the recorder is passive, so run behavior is unchanged.
-  if (cfg_.metrics) recorder_ = std::make_unique<metrics::Recorder>(*rt_);
+  validateBackend();
+  if (cfg_.backend == exec::Backend::kSim) {
+    rt_ = std::make_unique<sim::Runtime>(topo, cfg_.latency, cfg_.seed);
+    ctx_ = rt_.get();
+    rt_->setRecordWire(cfg_.recordWire);
+    // Registered before any node or workload so the measurement plane sees
+    // every event; the recorder is passive, so run behavior is unchanged.
+    // (Threaded runs have no observer registry: RunResult::metrics is
+    // reconstructed from the merged wall-clock trace at harvest.)
+    if (cfg_.metrics) recorder_ = std::make_unique<metrics::Recorder>(*rt_);
+  } else {
+    threaded_ = std::make_unique<exec::ThreadedRuntime>(topo, cfg_.latency,
+                                                        cfg_.seed);
+    ctx_ = threaded_.get();
+  }
   // The bootstrap plane outlives every node incarnation and must exist
   // before the first XcastNode constructor runs (nodes bind to it there).
   if (cfg_.stack.bootstrap.armed) {
-    bootstrap_ = std::make_unique<bootstrap::Plane>(*rt_,
+    bootstrap_ = std::make_unique<bootstrap::Plane>(*ctx_,
                                                     cfg_.stack.bootstrap);
     cfg_.stack.bootstrapPlane = bootstrap_.get();
   }
   for (ProcessId p = 0; p < topo.numProcesses(); ++p) {
-    auto node = makeNode(cfg_.protocol, *rt_, p, cfg_);
+    auto node = makeNode(cfg_.protocol, *ctx_, p, cfg_);
     nodes_.push_back(node.get());
-    rt_->attach(p, std::move(node));
+    ctx_->attach(p, std::move(node));
   }
   // Recovery rebuilds a crashed process's stack from the same config; the
   // factory also refreshes the experiment's node table so node(pid) always
   // resolves to the live incarnation, and hands the fresh incarnation to
   // the bootstrap plane (which marks it joining and arms the rejoin
-  // handshake — the incarnation counter is already bumped here).
-  rt_->setNodeFactory([this](ProcessId p) -> std::unique_ptr<sim::Node> {
-    auto node = makeNode(cfg_.protocol, *rt_, p, cfg_);
-    nodes_[static_cast<size_t>(p)] = node.get();
-    if (bootstrap_) bootstrap_->onRecovered(p);
-    return node;
-  });
+  // handshake — the incarnation counter is already bumped here). Recovery
+  // is a sim-only axis, so the factory binds to the sim backend.
+  if (rt_ != nullptr) {
+    rt_->setNodeFactory([this](ProcessId p) -> std::unique_ptr<sim::Node> {
+      auto node = makeNode(cfg_.protocol, *ctx_, p, cfg_);
+      nodes_[static_cast<size_t>(p)] = node.get();
+      if (bootstrap_) bootstrap_->onRecovered(p);
+      return node;
+    });
+  }
   if (cfg_.stack.reliableChannels) {
-    channel_ = std::make_unique<channel::Plane>(*rt_, cfg_.stack.channel);
-    rt_->setChannelHook(channel_.get());
+    channel_ = std::make_unique<channel::Plane>(*ctx_, cfg_.stack.channel);
+    ctx_->setChannelHook(channel_.get());
   }
   if (cfg_.lossRate != 0) rt_->setLossRate(cfg_.lossRate);  // validates
   if (batchingEnabled()) {
     batcher_ = std::make_unique<BatchPlane>(
-        *rt_, cfg_.stack.batchWindow, cfg_.stack.batchMaxSize,
+        *ctx_, cfg_.stack.batchWindow, cfg_.stack.batchMaxSize,
         [this](ProcessId sender, GroupSet dest,
                std::vector<AppMsgPtr> casts) {
           // Carrier ids come from the same allocator as cast ids so the
           // two can never collide; checkMsgIdCeiling budgeted for them
           // and allocCarrierId enforces the ceiling at mint time.
           const MsgId cid = allocCarrierId();
-          node(sender).xcast(makeCarrier(cid, sender, dest,
-                                         std::move(casts)));
+          AppMsgPtr carrier = makeCarrier(cid, sender, dest, std::move(casts));
+          // The window expires on the harness side (sim scheduler / threaded
+          // driver wheel); the xcast itself must run where the sender's
+          // protocol state lives. post() is an immediate call on the sim
+          // backend and a ring crossing on the threaded one.
+          XcastNode* n = &node(sender);
+          ctx_->post(sender, [n, carrier]() { n->xcast(carrier); });
         });
   }
   if (cfg_.workload) addWorkload(*cfg_.workload);
@@ -150,7 +199,7 @@ XcastNode& Experiment::node(ProcessId pid) {
 }
 
 void Experiment::validateCast(ProcessId sender, const GroupSet& dest) const {
-  const Topology& topo = rt_->topology();
+  const Topology& topo = ctx_->topology();
   if (sender < 0 || sender >= topo.numProcesses()) {
     std::ostringstream os;
     os << "castAt: sender pid " << sender << " out of range [0, "
@@ -230,14 +279,13 @@ MsgId Experiment::castAt(SimTime when, ProcessId sender, GroupSet dest,
   checkMsgIdCeiling(1);
   const MsgId id = nextMsgId_++;
   auto msg = makeAppMessage(id, sender, dest, std::move(body));
-  // Scheduled directly, not via the incarnation-bound Runtime::timer: a
-  // cast is a harness event, not protocol state of the incarnation that
-  // scheduled it. It fires iff the sender is alive AT CAST TIME — a
-  // crashed sender casts nothing (as before), a crash-recovered one
-  // casts again (same rule as issueWorkloadCast).
-  // wanmc-lint: allow(D4): harness event with alive-at-fire check below
-  rt_->scheduler().at(std::max(when, rt_->now()), [this, sender, msg]() {
-    if (!rt_->crashed(sender)) dispatchCast(sender, msg);
+  // A harness event (Context::harnessAt), not an incarnation-bound
+  // Context::timer: a cast is harness input, not protocol state of the
+  // incarnation that scheduled it. It fires iff the sender is alive AT
+  // CAST TIME — a crashed sender casts nothing (as before), a
+  // crash-recovered one casts again (same rule as issueWorkloadCast).
+  ctx_->harnessAt(when, [this, sender, msg]() {
+    if (!ctx_->crashed(sender)) dispatchCast(sender, msg);
   });
   return id;
 }
@@ -246,21 +294,32 @@ MsgId Experiment::issueWorkloadCast(ProcessId sender, GroupSet dest,
                                     std::string body) {
   if (reservedWorkloadIds_ > 0) --reservedWorkloadIds_;  // reserved -> used
   const MsgId id = nextMsgId_++;
-  if (!rt_->crashed(sender))
+  if (!ctx_->crashed(sender))
     dispatchCast(sender, makeAppMessage(id, sender, dest, std::move(body)));
   return id;
 }
 
 void Experiment::dispatchCast(ProcessId sender, const AppMsgPtr& m) {
+  // Every addressee of the cast owes exactly one A-Deliver: the threaded
+  // backend's run loop terminates on this ledger (the sim backend
+  // terminates on scheduler quiescence and ignores it).
+  for (uint64_t b = m->dest.bits(); b != 0; b &= b - 1)
+    expectedDeliveries_ += static_cast<uint64_t>(ctx_->topology().groupSize(
+        static_cast<GroupId>(__builtin_ctzll(b))));
   if (batcher_ == nullptr) {
-    node(sender).xcast(m);  // the stack records the cast itself
+    // The stack records the cast itself. Posted to the sender's execution
+    // context: an immediate inline call on the sim backend (byte-identical
+    // to the historical direct call), an enqueued command on the sender's
+    // own thread on the threaded backend.
+    XcastNode* n = &node(sender);
+    ctx_->post(sender, [n, m]() { n->xcast(m); });
     return;
   }
   // Batched: the cast becomes observable NOW — the window wait is real
   // latency and must show in the measured numbers — while the stack only
   // sees the carrier at flush time (which skips recording, see
   // XcastNode::recordXcast).
-  rt_->recordCast(sender, m);
+  ctx_->recordCast(sender, m);
   batcher_->enqueue(sender, m);
 }
 
@@ -281,7 +340,7 @@ workload::Generator& Experiment::addWorkload(workload::Spec spec) {
     const bool broadcast = isBroadcastProtocol(cfg_.protocol);
     for (const workload::TraceCast& c : spec.trace)
       validateCast(c.sender, (c.dest.empty() || broadcast)
-                                 ? rt_->topology().allGroups()
+                                 ? ctx_->topology().allGroups()
                                  : c.dest);
   }
   auto gen = std::make_unique<workload::Generator>(*this, std::move(spec));
@@ -289,8 +348,14 @@ workload::Generator& Experiment::addWorkload(workload::Spec spec) {
   workloads_.push_back(std::move(gen));
   if (raw->spec().model == workload::Model::kClosedLoop &&
       raw->spec().inFlightCap > 0) {
-    rt_->addDeliveryObserver(
-        [raw](ProcessId, MsgId m) { raw->onDelivered(m); });
+    // Capped closed loops need delivery feedback: a typed observer on the
+    // sim registry (sim/observer.hpp), owned by the experiment. Rejected
+    // on the threaded backend by validateBackend.
+    assert(rt_ != nullptr);
+    workloadObservers_.push_back(
+        std::make_unique<WorkloadDeliveryObserver>(*raw));
+    rt_->addObserver(workloadObservers_.back().get(),
+                     sim::kObserveDeliveries);
   }
   raw->install();
   return *raw;
@@ -305,11 +370,11 @@ std::vector<MsgId> Experiment::workloadIds() const {
 
 MsgId Experiment::castAllAt(SimTime when, ProcessId sender,
                             std::string body) {
-  return castAt(when, sender, rt_->topology().allGroups(), std::move(body));
+  return castAt(when, sender, ctx_->topology().allGroups(), std::move(body));
 }
 
 void Experiment::checkPid(ProcessId pid, const char* what) const {
-  const Topology& topo = rt_->topology();
+  const Topology& topo = ctx_->topology();
   if (pid < 0 || pid >= topo.numProcesses()) {
     std::ostringstream os;
     os << what << ": pid " << pid << " out of range [0, "
@@ -321,49 +386,67 @@ void Experiment::checkPid(ProcessId pid, const char* what) const {
 void Experiment::crashAt(ProcessId pid, SimTime when) {
   checkPid(pid, "crashAt");
   crashPlanned_.insert(pid);
-  rt_->scheduleCrash(pid, when);
+  runtime().scheduleCrash(pid, when);
 }
 
 void Experiment::recoverAt(ProcessId pid, SimTime when) {
   checkPid(pid, "recoverAt");
-  rt_->scheduleRecover(pid, when);
+  runtime().scheduleRecover(pid, when);
 }
 
 sim::Runtime::PartitionId Experiment::partitionAt(GroupSet side,
                                                   SimTime from,
                                                   SimTime until) {
-  return rt_->partition(side, from, until);
+  return runtime().partition(side, from, until);
 }
 
 RunResult Experiment::run(SimTime until) {
+  if (rt_ != nullptr) {
+    if (!started_) {
+      started_ = true;
+      rt_->start();
+    }
+    rt_->run(until);
+    return harvest();
+  }
+  // Threaded: `until` is a REAL-time budget (µs of wall clock), a safety
+  // net rather than a duration — the run ends as soon as the delivery
+  // ledger closes: every harness event fired and every addressee of every
+  // dispatched cast has recorded its A-Deliver. One-shot: the threads are
+  // joined and the traces merged at stop; a second run() just re-harvests.
   if (!started_) {
     started_ = true;
-    rt_->start();
+    threaded_->start();
+    threaded_->run(until, [this]() {
+      return threaded_->pendingHarnessEvents() == 0 &&
+             threaded_->deliveredCount() >= expectedDeliveries_;
+    });
+    threaded_->stop();
   }
-  rt_->run(until);
   return harvest();
 }
 
 RunResult Experiment::runMore(SimTime until) { return run(until); }
 
 RunResult Experiment::harvest() const {
+  const exec::Context& ctx = *ctx_;
   RunResult r;
-  r.topo = rt_->topology();
-  r.trace = rt_->trace();
-  r.traffic = rt_->traffic();
-  r.lastAlgoSend = rt_->lastAlgorithmicSend();
-  r.endTime = rt_->now();
+  r.topo = ctx.topology();
+  r.trace = ctx.trace();
+  r.traffic = ctx.traffic();
+  r.lastAlgoSend = ctx.lastAlgorithmicSend();
+  r.endTime = ctx.now();
   r.metrics = recorder_
-                  ? recorder_->summary(rt_->now())
-                  : metrics::summarizeTrace(rt_->trace(), rt_->topology(),
-                                            rt_->traffic(),
-                                            rt_->lastAlgorithmicSend(),
-                                            rt_->now());
+                  ? recorder_->summary(ctx.now())
+                  : metrics::summarizeTrace(ctx.trace(), ctx.topology(),
+                                            ctx.traffic(),
+                                            ctx.lastAlgorithmicSend(),
+                                            ctx.now());
   // The recorder observes casts/deliveries/sends, not fault events; both
   // constructions take the fault block straight from the trace. The channel
   // block is likewise injected identically into both constructions: the
   // plane's counters are not reconstructible from the trace.
-  r.metrics.faults = rt_->faultStats();
+  r.metrics.faults = faultStatsOf(ctx.trace());
   if (channel_) r.metrics.channels = channel_->stats();
   if (bootstrap_) {
     r.metrics.bootstrap = bootstrap_->stats();
@@ -372,10 +455,10 @@ RunResult Experiment::harvest() const {
       rr.pid = rj.pid;
       rr.installedAt = rj.installedAt;
       rr.suffixReplayed = rj.suffixReplayed;
-      for (const auto& rec : rt_->trace().recoveries)
+      for (const auto& rec : ctx.trace().recoveries)
         if (rec.process == rj.pid && rec.when <= rj.installedAt)
           rr.recoveredAt = rec.when;
-      for (const auto& d : rt_->trace().deliveries) {
+      for (const auto& d : ctx.trace().deliveries) {
         if (d.process != rj.pid || d.when <= rj.installedAt) continue;
         rr.firstDeliveryAfter = d.when;
         break;
@@ -383,12 +466,12 @@ RunResult Experiment::harvest() const {
       r.rejoins.push_back(rr);
     }
   }
-  for (const auto& rec : rt_->trace().recoveries)
+  for (const auto& rec : ctx.trace().recoveries)
     r.recovered.insert(rec.process);
-  for (ProcessId p : rt_->topology().allProcesses()) {
-    if (!rt_->everCrashed(p)) r.correct.insert(p);
-    if (rt_->everSentAlgorithmic(p)) r.genuineness.sentAlgorithmic.insert(p);
-    if (rt_->everReceivedAlgorithmic(p))
+  for (ProcessId p : ctx.topology().allProcesses()) {
+    if (!ctx.everCrashed(p)) r.correct.insert(p);
+    if (ctx.everSentAlgorithmic(p)) r.genuineness.sentAlgorithmic.insert(p);
+    if (ctx.everReceivedAlgorithmic(p))
       r.genuineness.receivedAlgorithmic.insert(p);
   }
   return r;

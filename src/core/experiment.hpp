@@ -9,6 +9,8 @@
 //   r.trace.latencyDegree(...); r.checkAtomicSuite(); ...
 #pragma once
 
+#include <cassert>
+#include <stdexcept>
 #include <memory>
 #include <optional>
 #include <set>
@@ -28,6 +30,9 @@
 
 namespace wanmc::workload {
 class Generator;
+}
+namespace wanmc::exec {
+class ThreadedRuntime;
 }
 namespace wanmc::metrics {
 class Recorder;
@@ -57,6 +62,12 @@ enum class ProtocolKind {
 [[nodiscard]] bool isBroadcastProtocol(ProtocolKind k);
 
 struct RunConfig {
+  // Execution backend (exec/context.hpp): kSim runs on the deterministic
+  // discrete-event oracle; kThreaded runs every process on its own OS
+  // thread against the real steady clock. The threaded backend measures —
+  // it supports no fault injection, no reliable channels, no bootstrap,
+  // and no capped closed-loop workloads (Experiment rejects those combos).
+  exec::Backend backend = exec::Backend::kSim;
   int groups = 2;
   int procsPerGroup = 2;
   // Non-empty overrides groups/procsPerGroup with a ragged layout:
@@ -138,7 +149,19 @@ class Experiment {
   Experiment(const Experiment&) = delete;
   Experiment& operator=(const Experiment&) = delete;
 
-  [[nodiscard]] sim::Runtime& runtime() { return *rt_; }
+  // The execution context hosting the run — backend-agnostic surface.
+  [[nodiscard]] exec::Context& context() { return *ctx_; }
+  // The sim backend's full control surface (crash/recover/partition/loss
+  // injection, the deterministic scheduler). Only valid when the run is on
+  // the sim backend — throws std::logic_error otherwise; fault injection
+  // is sim-only.
+  [[nodiscard]] sim::Runtime& runtime() {
+    if (rt_ == nullptr)
+      throw std::logic_error(
+          "Experiment::runtime(): the fault/scheduler surface is "
+          "sim-backend-only; this run is on the threaded backend");
+    return *rt_;
+  }
   [[nodiscard]] XcastNode& node(ProcessId pid);
   [[nodiscard]] const RunConfig& config() const { return cfg_; }
 
@@ -188,6 +211,10 @@ class Experiment {
   friend class workload::Generator;
 
   RunResult harvest() const;
+  // Rejects sim-only RunConfig axes (fault injection, channels, bootstrap,
+  // capped closed loops) on the threaded backend — throws
+  // std::invalid_argument naming the offending knob.
+  void validateBackend() const;
   // Shared castAt/addWorkload argument validation (throws on bad input).
   void validateCast(ProcessId sender, const GroupSet& dest) const;
   // Throws std::invalid_argument on an out-of-range pid (crash/recover).
@@ -225,7 +252,13 @@ class Experiment {
   // Declared before rt_ so the recorder (a registered observer) outlives
   // the runtime; constructed right after rt_ in the ctor body.
   std::unique_ptr<metrics::Recorder> recorder_;  // nullptr: metrics off
-  std::unique_ptr<sim::Runtime> rt_;
+  // Exactly one backend is constructed, per cfg_.backend; ctx_ aims at it.
+  std::unique_ptr<sim::Runtime> rt_;                // kSim, else nullptr
+  std::unique_ptr<exec::ThreadedRuntime> threaded_;  // kThreaded, else null
+  exec::Context* ctx_ = nullptr;
+  // Closed-loop workload feedback adapters, registered on the sim observer
+  // registry (capped closed loops are a sim-only feature).
+  std::vector<std::unique_ptr<sim::RunObserver>> workloadObservers_;
   // Reliable-channel plane (nullptr: channels off). Declared after rt_ so
   // it is destroyed first; the runtime holds a non-owning hook pointer and
   // never invokes it from its destructor.
@@ -239,6 +272,10 @@ class Experiment {
   std::vector<std::unique_ptr<workload::Generator>> workloads_;
   std::set<ProcessId> crashPlanned_;
   MsgId nextMsgId_ = 1;
+  // Threaded-backend termination ledger: every addressee of every
+  // dispatched cast owes one A-Deliver. Touched only on the driver thread
+  // (dispatchCast runs there); the sim backend ignores it.
+  uint64_t expectedDeliveries_ = 0;
   // Message ids promised to installed workloads but not yet allocated;
   // counted by checkMsgIdCeiling so lazily-issued ids cannot sneak past
   // the Rodrigues98 scope ceiling.

@@ -1,0 +1,237 @@
+#include "core/run_options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace wanmc::core {
+
+std::optional<ProtocolKind> protocolFromName(const std::string& name) {
+  if (name == "a1") return ProtocolKind::kA1;
+  if (name == "fritzke98") return ProtocolKind::kFritzke98;
+  if (name == "delporte00") return ProtocolKind::kDelporte00;
+  if (name == "rodrigues98") return ProtocolKind::kRodrigues98;
+  if (name == "skeen87") return ProtocolKind::kSkeen87;
+  if (name == "viabcast") return ProtocolKind::kViaBcast;
+  if (name == "a2") return ProtocolKind::kA2;
+  if (name == "sousa02") return ProtocolKind::kSousa02;
+  if (name == "vicente02") return ProtocolKind::kVicente02;
+  if (name == "detmerge00") return ProtocolKind::kDetMerge00;
+  return std::nullopt;
+}
+
+std::optional<exec::Backend> backendFromName(const std::string& name) {
+  if (name == "sim") return exec::Backend::kSim;
+  if (name == "threaded") return exec::Backend::kThreaded;
+  return std::nullopt;
+}
+
+namespace {
+
+// The identifier-safe protocol key serialize() emits (protocolName() has
+// spaces and citation brackets).
+const char* protocolKey(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kA1: return "a1";
+    case ProtocolKind::kFritzke98: return "fritzke98";
+    case ProtocolKind::kDelporte00: return "delporte00";
+    case ProtocolKind::kRodrigues98: return "rodrigues98";
+    case ProtocolKind::kSkeen87: return "skeen87";
+    case ProtocolKind::kViaBcast: return "viabcast";
+    case ProtocolKind::kA2: return "a2";
+    case ProtocolKind::kSousa02: return "sousa02";
+    case ProtocolKind::kVicente02: return "vicente02";
+    case ProtocolKind::kDetMerge00: return "detmerge00";
+  }
+  return "?";
+}
+
+long long intOrDie(const std::string& s, const char* flag) {
+  size_t used = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(s, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (s.empty() || used != s.size()) {
+    std::fprintf(stderr, "%s: '%s' is not a number\n", flag, s.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool RunOptions::consumeFlag(const std::string& arg,
+                             const std::function<std::string()>& next) {
+  if (arg == "--backend") {
+    const std::string v = next();
+    const auto b = backendFromName(v);
+    if (!b) {
+      std::fprintf(stderr, "--backend: unknown backend '%s' (sim|threaded)\n",
+                   v.c_str());
+      std::exit(2);
+    }
+    backend = *b;
+  } else if (arg == "--protocol") {
+    const std::string v = next();
+    const auto p = protocolFromName(v);
+    if (!p) {
+      std::fprintf(stderr, "--protocol: unknown protocol '%s'\n", v.c_str());
+      std::exit(2);
+    }
+    protocol = *p;
+  } else if (arg == "--groups") {
+    groups = static_cast<int>(intOrDie(next(), "--groups"));
+  } else if (arg == "--procs") {
+    procsPerGroup = static_cast<int>(intOrDie(next(), "--procs"));
+  } else if (arg == "--seed") {
+    seed = static_cast<uint64_t>(intOrDie(next(), "--seed"));
+  } else if (arg == "--dest-groups") {
+    destGroups = static_cast<int>(intOrDie(next(), "--dest-groups"));
+  } else if (arg == "--inter-ms") {
+    const SimTime v = intOrDie(next(), "--inter-ms") * kMs;
+    latency.interMin = latency.interMax = v;
+  } else if (arg == "--intra-us") {
+    const SimTime v = intOrDie(next(), "--intra-us");
+    latency.intraMin = latency.intraMax = v;
+  } else if (arg == "--batch-window") {
+    batchWindow = intOrDie(next(), "--batch-window") * kMs;
+  } else if (arg == "--batch-max") {
+    batchMaxSize = static_cast<int>(intOrDie(next(), "--batch-max"));
+  } else if (arg == "--loss") {
+    lossRate = std::atof(next().c_str());
+  } else if (arg == "--reliable-channels") {
+    reliableChannels = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void RunOptions::validate() const {
+  std::ostringstream os;
+  if (groups <= 0 || procsPerGroup <= 0) {
+    os << "RunOptions: topology " << groups << "x" << procsPerGroup
+       << " needs positive group and process counts";
+    throw std::invalid_argument(os.str());
+  }
+  if (destGroups <= 0 || destGroups > groups) {
+    os << "RunOptions: dest-groups " << destGroups << " outside [1, "
+       << groups << "]";
+    throw std::invalid_argument(os.str());
+  }
+  if (!(lossRate >= 0.0 && lossRate < 1.0)) {
+    os << "RunOptions: loss rate " << lossRate
+       << " outside [0, 1) - a lossless link needs 0, a dead one a cut";
+    throw std::invalid_argument(os.str());
+  }
+  if (batchWindow < 0 || batchMaxSize < 0) {
+    os << "RunOptions: batch window " << batchWindow << "us / max size "
+       << batchMaxSize << " must be non-negative";
+    throw std::invalid_argument(os.str());
+  }
+  latency.validate();
+}
+
+std::string RunOptions::serialize() const {
+  std::ostringstream os;
+  os << "backend=" << exec::backendName(backend)
+     << " protocol=" << protocolKey(protocol) << " groups=" << groups
+     << " procs=" << procsPerGroup << " seed=" << seed
+     << " intra=" << latency.intraMin << ":" << latency.intraMax
+     << " inter=" << latency.interMin << ":" << latency.interMax
+     << " batch-window=" << batchWindow << " batch-max=" << batchMaxSize
+     << " loss=" << lossRate
+     << " channels=" << (reliableChannels ? 1 : 0)
+     << " dest-groups=" << destGroups;
+  return os.str();
+}
+
+std::optional<RunOptions> RunOptions::parse(const std::string& text) {
+  RunOptions out;
+  std::istringstream is(text);
+  std::string tok;
+  auto range = [](const std::string& v, SimTime& lo, SimTime& hi) {
+    const auto colon = v.find(':');
+    if (colon == std::string::npos) return false;
+    try {
+      lo = std::stoll(v.substr(0, colon));
+      hi = std::stoll(v.substr(colon + 1));
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  };
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string k = tok.substr(0, eq);
+    const std::string v = tok.substr(eq + 1);
+    try {
+      if (k == "backend") {
+        const auto b = backendFromName(v);
+        if (!b) return std::nullopt;
+        out.backend = *b;
+      } else if (k == "protocol") {
+        const auto p = protocolFromName(v);
+        if (!p) return std::nullopt;
+        out.protocol = *p;
+      } else if (k == "groups") {
+        out.groups = std::stoi(v);
+      } else if (k == "procs") {
+        out.procsPerGroup = std::stoi(v);
+      } else if (k == "seed") {
+        out.seed = std::stoull(v);
+      } else if (k == "intra") {
+        if (!range(v, out.latency.intraMin, out.latency.intraMax))
+          return std::nullopt;
+      } else if (k == "inter") {
+        if (!range(v, out.latency.interMin, out.latency.interMax))
+          return std::nullopt;
+      } else if (k == "batch-window") {
+        out.batchWindow = std::stoll(v);
+      } else if (k == "batch-max") {
+        out.batchMaxSize = std::stoi(v);
+      } else if (k == "loss") {
+        out.lossRate = std::stod(v);
+      } else if (k == "channels") {
+        out.reliableChannels = std::stoi(v) != 0;
+      } else if (k == "dest-groups") {
+        out.destGroups = std::stoi(v);
+      } else {
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+RunConfig RunOptions::toRunConfig() const {
+  validate();
+  RunConfig cfg;
+  cfg.backend = backend;
+  cfg.protocol = protocol;
+  cfg.groups = groups;
+  cfg.procsPerGroup = procsPerGroup;
+  cfg.seed = seed;
+  cfg.latency = latency;
+  cfg.stack.batchWindow = batchWindow;
+  cfg.stack.batchMaxSize = batchMaxSize;
+  cfg.stack.reliableChannels = reliableChannels;
+  cfg.lossRate = lossRate;
+  return cfg;
+}
+
+const char* RunOptions::flagHelp() {
+  return "[--backend sim|threaded] [--protocol P] [--groups N] [--procs D] "
+         "[--seed S] [--dest-groups G] [--inter-ms L] [--intra-us U] "
+         "[--batch-window MS] [--batch-max N] [--loss P] "
+         "[--reliable-channels]";
+}
+
+}  // namespace wanmc::core

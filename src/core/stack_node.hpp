@@ -20,7 +20,7 @@
 #include "consensus/consensus.hpp"
 #include "fd/failure_detector.hpp"
 #include "rmcast/rmcast.hpp"
-#include "sim/runtime.hpp"
+#include "exec/context.hpp"
 
 namespace wanmc::core {
 
@@ -73,10 +73,10 @@ struct StackConfig {
   bootstrap::Plane* bootstrapPlane = nullptr;
 };
 
-class StackNode : public sim::Node {
+class StackNode : public exec::Process {
  public:
-  StackNode(sim::Runtime& rt, ProcessId pid, const StackConfig& cfg)
-      : sim::Node(rt, pid), cfg_(cfg) {
+  StackNode(exec::Context& rt, ProcessId pid, const StackConfig& cfg)
+      : exec::Process(rt, pid), cfg_(cfg) {
     // The failure detector's scope is the own group: that is where consensus
     // runs and the only place suspicion matters for the core algorithms.
     // (Stacks that run consensus across groups widen the scope themselves.)
@@ -123,7 +123,7 @@ class StackNode : public sim::Node {
         break;
       case Layer::kBootstrap:
         // State-transfer packets belong to the bootstrap plane; the node
-        // only hosts the delivery (plane endpoints are not sim::Nodes).
+        // only hosts the delivery (plane endpoints are not exec::Processs).
         if (cfg_.bootstrapPlane != nullptr)
           cfg_.bootstrapPlane->onMessage(pid(), from, *payload);
         break;
@@ -195,7 +195,7 @@ class XcastNode : public StackNode, public bootstrap::Participant {
  public:
   using DeliverCb = std::function<void(const AppMsgPtr&)>;
 
-  XcastNode(sim::Runtime& rt, ProcessId pid, const StackConfig& cfg)
+  XcastNode(exec::Context& rt, ProcessId pid, const StackConfig& cfg)
       : StackNode(rt, pid, cfg) {
     if (cfg.bootstrapPlane != nullptr)
       cfg.bootstrapPlane->bind(pid, this, fd());

@@ -1,0 +1,21 @@
+#include "exec/context.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace wanmc::exec {
+
+void LatencyModel::validate() const {
+  auto bad = [](const char* what, SimTime lo, SimTime hi) {
+    std::ostringstream os;
+    os << "LatencyModel: " << what << " range [" << lo << ", " << hi
+       << "]us is invalid (bounds must be non-negative and min <= max)";
+    throw std::invalid_argument(os.str());
+  };
+  if (intraMin < 0 || intraMax < 0 || intraMin > intraMax)
+    bad("intra-group", intraMin, intraMax);
+  if (interMin < 0 || interMax < 0 || interMin > interMax)
+    bad("inter-group", interMin, interMax);
+}
+
+}  // namespace wanmc::exec

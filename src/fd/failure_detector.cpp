@@ -2,7 +2,7 @@
 
 namespace wanmc::fd {
 
-std::unique_ptr<FailureDetector> makeFd(FdKind kind, sim::Runtime& rt,
+std::unique_ptr<FailureDetector> makeFd(FdKind kind, exec::Context& rt,
                                         ProcessId self,
                                         std::vector<ProcessId> scope,
                                         SimTime oracleDelay,

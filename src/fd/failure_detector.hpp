@@ -37,7 +37,7 @@
 #include "common/ids.hpp"
 #include "common/message.hpp"
 #include "common/time.hpp"
-#include "sim/runtime.hpp"
+#include "exec/context.hpp"
 
 namespace wanmc::fd {
 
@@ -97,7 +97,7 @@ class FailureDetector {
 class OracleFd final : public FailureDetector {
  public:
   // `detectionDelay` models the time between a crash and its detection.
-  OracleFd(sim::Runtime& rt, ProcessId self, SimTime detectionDelay = 0)
+  OracleFd(exec::Context& rt, ProcessId self, SimTime detectionDelay = 0)
       : rt_(rt),
         self_(self),
         delay_(detectionDelay),
@@ -146,7 +146,7 @@ class OracleFd final : public FailureDetector {
     }
   }
 
-  sim::Runtime& rt_;
+  exec::Context& rt_;
   ProcessId self_;
   SimTime delay_;
   std::vector<uint8_t> suspected_;  // dense, indexed by pid
@@ -191,7 +191,7 @@ class HeartbeatFd final : public FailureDetector {
   // `scope` is the set of processes this detector monitors (and
   // heartbeats) on its own-group lane; addRemoteGroup() adds one lane per
   // remote group, parameterized by `remoteParams`.
-  HeartbeatFd(sim::Runtime& rt, ProcessId self, std::vector<ProcessId> scope,
+  HeartbeatFd(exec::Context& rt, ProcessId self, std::vector<ProcessId> scope,
               Params params, Params remoteParams = remoteDefaults())
       : rt_(rt),
         self_(self),
@@ -295,7 +295,7 @@ class HeartbeatFd final : public FailureDetector {
     rt_.timer(self_, lane.params.interval, [this, li]() { tick(li); });
   }
 
-  sim::Runtime& rt_;
+  exec::Context& rt_;
   ProcessId self_;
   Params remoteParams_;
   bool started_ = false;
@@ -309,7 +309,7 @@ class HeartbeatFd final : public FailureDetector {
 enum class FdKind { kOracle, kHeartbeat };
 
 std::unique_ptr<FailureDetector> makeFd(
-    FdKind kind, sim::Runtime& rt, ProcessId self,
+    FdKind kind, exec::Context& rt, ProcessId self,
     std::vector<ProcessId> scope, SimTime oracleDelay = 0,
     HeartbeatFd::Params hb = {},
     HeartbeatFd::Params hbRemote = HeartbeatFd::remoteDefaults());

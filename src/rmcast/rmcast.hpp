@@ -38,7 +38,7 @@
 
 #include "common/ids.hpp"
 #include "common/message.hpp"
-#include "sim/runtime.hpp"
+#include "exec/context.hpp"
 
 namespace wanmc::rmcast {
 
@@ -68,7 +68,7 @@ class ReliableMulticast {
  public:
   using DeliverCb = std::function<void(const AppMsgPtr&)>;
 
-  ReliableMulticast(sim::Runtime& rt, ProcessId self,
+  ReliableMulticast(exec::Context& rt, ProcessId self,
                     RelayPolicy relay = RelayPolicy::kIntraOnly,
                     Uniformity uniformity = Uniformity::kNonUniform)
       : rt_(rt), self_(self), relay_(relay), uniformity_(uniformity) {}
@@ -125,7 +125,7 @@ class ReliableMulticast {
     return rt_.topology().membersOf(m.dest);
   }
 
-  sim::Runtime& rt_;
+  exec::Context& rt_;
   ProcessId self_;
   RelayPolicy relay_;
   Uniformity uniformity_;

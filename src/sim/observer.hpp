@@ -7,10 +7,11 @@
 // deterministic scheduler, so observation never perturbs a run (the golden
 // fingerprints pin this).
 //
-// This generalizes the PR 3 addDeliveryObserver hook (which survives as a
-// thin shim over the registry): the metrics recorder (src/metrics/) and the
-// streaming order checkers (src/verify/streaming.hpp) both feed off this
-// plane instead of rescanning the RunTrace after the fact.
+// This generalizes (and since PR 10 fully replaces) the PR 3
+// addDeliveryObserver hook: the metrics recorder (src/metrics/), the
+// streaming order checkers (src/verify/streaming.hpp), and the experiment's
+// closed-loop workload feedback all feed off this plane instead of
+// rescanning the RunTrace after the fact.
 #pragma once
 
 #include <cstdint>

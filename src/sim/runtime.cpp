@@ -5,43 +5,6 @@
 
 namespace wanmc::sim {
 
-void LatencyModel::validate() const {
-  auto bad = [](const char* what, SimTime lo, SimTime hi) {
-    std::ostringstream os;
-    os << "LatencyModel: " << what << " range [" << lo << ", " << hi
-       << "]us is invalid (bounds must be non-negative and min <= max)";
-    throw std::invalid_argument(os.str());
-  };
-  if (intraMin < 0 || intraMax < 0 || intraMin > intraMax)
-    bad("intra-group", intraMin, intraMax);
-  if (interMin < 0 || interMax < 0 || interMin > interMax)
-    bad("inter-group", interMin, interMax);
-}
-
-namespace {
-
-// Adapter behind the legacy addDeliveryObserver shim: wraps the PR 3
-// std::function callback in a typed observer the runtime owns.
-class DeliveryCallbackObserver final : public RunObserver {
- public:
-  explicit DeliveryCallbackObserver(Runtime::DeliveryObserver f)
-      : f_(std::move(f)) {}
-  void onDeliver(const DeliveryEvent& ev) override {
-    f_(ev.process, ev.msg);
-  }
-
- private:
-  Runtime::DeliveryObserver f_;
-};
-
-}  // namespace
-
-void Runtime::addDeliveryObserver(DeliveryObserver f) {
-  auto obs = std::make_unique<DeliveryCallbackObserver>(std::move(f));
-  addObserver(obs.get(), kObserveDeliveries);
-  ownedObservers_.push_back(std::move(obs));
-}
-
 void Runtime::attach(ProcessId pid, std::unique_ptr<Node> node) {
   assert(pid >= 0 && pid < topo_.numProcesses());
   // Indexed by pid (not append order) so recovery can swap one slot.

@@ -1,6 +1,8 @@
 // The simulation runtime: scheduler + network + processes + instrumentation.
 //
-// The runtime implements the paper's system model (§2.1):
+// Runtime is the deterministic implementation of exec::Context (the
+// execution-backend interface every protocol stack is written against; see
+// src/exec/context.hpp). It implements the paper's system model (§2.1):
 //   * asynchronous message passing — per-message latency is drawn uniformly
 //     from [min,max] ranges, one range for intra-group and one (orders of
 //     magnitude larger) for inter-group links;
@@ -30,57 +32,21 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "common/trace.hpp"
+#include "exec/context.hpp"
 #include "sim/observer.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/topology.hpp"
 
 namespace wanmc::sim {
 
-struct LatencyModel {
-  SimTime intraMin = 1 * kMs;
-  SimTime intraMax = 2 * kMs;
-  SimTime interMin = 100 * kMs;
-  SimTime interMax = 110 * kMs;
+// Historical names, now defined by the execution-backend interface. Sim-side
+// code (tests, harnesses, examples) keeps reading naturally; backend-agnostic
+// code should name the exec:: originals (lint rule D6).
+using LatencyModel = exec::LatencyModel;
+using ChannelHook = exec::ChannelHook;
+using Node = exec::Process;
 
-  // A LAN-vs-WAN model with no jitter, handy for deterministic examples.
-  static LatencyModel fixed(SimTime intra, SimTime inter) {
-    return LatencyModel{intra, intra, inter, inter};
-  }
-
-  // Throws std::invalid_argument on a negative bound or an inverted
-  // [min, max] range. Checked at Runtime construction (so every
-  // RunConfig-built experiment is covered too): a bad range would
-  // otherwise silently collapse to a fixed draw (span underflow) or
-  // schedule events behind the clock.
-  void validate() const;
-};
-
-class Node;
-
-// Interception point for the reliable-channel substrate (src/channel/).
-// When installed, every non-FD multicast is handed to the hook INSTEAD of
-// being scheduled directly; the hook transmits wire copies through
-// Runtime::channelSend (which applies traffic accounting, link state, the
-// drop filter, the loss model, and the latency draw) and hands packets that
-// have reached their in-order point to Runtime::deliverFromChannel. With no
-// hook installed the send path is byte-identical to the direct scheme.
-class ChannelHook {
- public:
-  virtual ~ChannelHook() = default;
-  // One fan-out from `from` with the already-stamped modified Lamport clock
-  // value `sendTs` (the clock ticked ONCE for the whole fan-out; every
-  // transmission and retransmission of these copies must carry `sendTs`).
-  virtual void onSend(ProcessId from, const std::vector<ProcessId>& tos,
-                      const PayloadPtr& payload, uint64_t sendTs) = 0;
-  // A wire copy sent via channelSend arrived at a live process `to`.
-  virtual void onWireArrive(ProcessId from, ProcessId to,
-                            const PayloadPtr& payload) = 0;
-  // `pid` recovered as a fresh incarnation (called before the fresh node is
-  // built): its channel endpoints must forget the dead incarnation's state.
-  virtual void onReset(ProcessId pid) = 0;
-};
-
-class Runtime {
+class Runtime final : public exec::Context {
  public:
   Runtime(Topology topo, LatencyModel latency, uint64_t seed)
       : topo_(std::move(topo)),
@@ -106,9 +72,9 @@ class Runtime {
   // ---- wiring ------------------------------------------------------------
 
   // Takes ownership of the node hosting process `pid`.
-  void attach(ProcessId pid, std::unique_ptr<Node> node);
+  void attach(ProcessId pid, std::unique_ptr<Node> node) override;
 
-  [[nodiscard]] Node& node(ProcessId pid) {
+  [[nodiscard]] Node& node(ProcessId pid) override {
     assert(owned_[static_cast<size_t>(pid)]);
     return *nodes_[static_cast<size_t>(pid)];
   }
@@ -121,33 +87,22 @@ class Runtime {
   uint64_t run(SimTime until = kTimeNever, uint64_t maxEvents = UINT64_MAX);
   bool stepOne() { return sched_.step(); }
 
-  [[nodiscard]] SimTime now() const { return sched_.now(); }
+  [[nodiscard]] SimTime now() const override { return sched_.now(); }
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
-  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const Topology& topology() const override { return topo_; }
   [[nodiscard]] SplitMix64& rng() { return rng_; }
 
   // Recycler for per-interval protocol payloads (see common/arena.hpp).
   // Owned by the runtime so pooled payloads may be held by ANY node or
   // in-flight event: the arena is destroyed after all of them.
-  [[nodiscard]] ArenaPool& payloadArena() { return payloadArena_; }
+  [[nodiscard]] ArenaPool& payloadArena() override { return payloadArena_; }
 
   // ---- messaging (used by Node) -------------------------------------------
 
-  // Sends `payload` from `from` to `to`, applying the latency model, the
-  // traffic accounting, and the modified Lamport-clock rules. A crashed
-  // sender sends nothing; delivery to a crashed receiver is dropped.
-  void send(ProcessId from, ProcessId to, PayloadPtr payload) {
-    multicast(from, {to}, std::move(payload));
-  }
-
-  // Sends one payload to many destinations as a SINGLE send event: the
-  // sender's Lamport clock ticks once (iff any destination is in another
-  // group), and every copy carries that one stamp. This matches the paper's
-  // cost model: in the proof of Theorem 4.1, "processes in g_i send (TS, m)
-  // to g_{3-i}" is one event with one timestamp, not |g| events. Message
-  // *counts* are still per link (one per destination).
+  // One send event, many copies: see exec::Context::multicast for the
+  // Lamport-stamping contract this implements.
   WANMC_HOT void multicast(ProcessId from, const std::vector<ProcessId>& tos,
-                           PayloadPtr payload);
+                           PayloadPtr payload) override;
 
   // Omission-fault injection hook for substrate tests. Return true to drop.
   using DropFilter =
@@ -166,76 +121,49 @@ class Runtime {
 
   // ---- reliable-channel substrate -----------------------------------------
 
-  // Installs a NON-OWNING channel hook (null to remove). The hook must stay
-  // alive for as long as the runtime dispatches events. Layer
-  // kFailureDetector traffic is never routed through the hook: heartbeat
-  // TIMING is the failure signal, and retransmitting it would blind the
-  // detector.
-  void setChannelHook(ChannelHook* hook) { channelHook_ = hook; }
-  [[nodiscard]] ChannelHook* channelHook() const { return channelHook_; }
-  [[nodiscard]] const LatencyModel& latencyModel() const { return latency_; }
+  void setChannelHook(ChannelHook* hook) override { channelHook_ = hook; }
+  [[nodiscard]] ChannelHook* channelHook() const override {
+    return channelHook_;
+  }
+  [[nodiscard]] const LatencyModel& latencyModel() const override {
+    return latency_;
+  }
 
-  // Raw single-copy transmission for the channel plane: traffic accounting
-  // under `accountLayer` (DATA under its inner layer, ACK/NACK under
-  // kChannel), wire observers, link state, drop filter, loss model, latency
-  // draw, then ChannelHook::onWireArrive at the receiver. Never touches the
-  // Lamport clocks: only the ORIGINAL multicast ticks the sender's clock
-  // (paper §2.3); retransmissions carry the original stamp inside the
-  // channel payload.
   WANMC_HOT void channelSend(ProcessId from, ProcessId to, PayloadPtr payload,
-                             Layer accountLayer);
+                             Layer accountLayer) override;
 
-  // Final in-order handoff of a channel-carried packet to the hosting node:
-  // applies the receive-side Lamport jump to the ORIGINAL `sendTs` and the
-  // genuineness accounting, exactly like a direct delivery would have.
   void deliverFromChannel(ProcessId from, ProcessId to,
-                          const PayloadPtr& payload, uint64_t sendTs);
+                          const PayloadPtr& payload, uint64_t sendTs) override;
 
   // ---- timers --------------------------------------------------------------
 
-  // Fires `fn` after `delay` unless the process has crashed by then.
-  // Timers are local events: they never touch the Lamport clock. The
-  // callable is stored inline in the scheduler's event pool when it fits
-  // (see EventCallable), so routine protocol timers do not allocate.
-  template <class F>
-  EventId timer(ProcessId pid, SimTime delay, F&& fn) {
-    using D = std::decay_t<F>;
-    return sched_.at(sched_.now() + delay,
-                     TimerGuard<D>{this, pid, incarnation(pid),
-                                   std::forward<F>(fn)});
-  }
-  void cancelTimer(EventId id) { sched_.cancel(id); }
+  // Node timers are registered through exec::Context::timer, which lands in
+  // scheduleTimer below; the callable is stored inline in the scheduler's
+  // event pool when it fits (see EventCallable and exec::SmallFn), so
+  // routine protocol timers do not allocate.
+  void cancelTimer(EventId id) override { sched_.cancel(id); }
 
   // ---- failures ------------------------------------------------------------
 
   void crash(ProcessId pid);
   void scheduleCrash(ProcessId pid, SimTime when);
-  // Registers a callback fired whenever a process crashes. `owner` is the
-  // process hosting the listener (the oracle failure detector registers
-  // one per process): listeners die with their owner's incarnation, so a
-  // recovered process's FRESH detector is the only one still listening —
-  // the crashed incarnation's callbacks can never fire into a destroyed
-  // node.
-  void addCrashListener(ProcessId owner, std::function<void(ProcessId)> fn) {
+  void addCrashListener(ProcessId owner,
+                        std::function<void(ProcessId)> fn) override {
     crashListeners_.push_back(
         {owner, incarnation(owner), std::move(fn)});
   }
-  // Same contract, fired whenever a process RECOVERS (after the fresh node
-  // is attached and before its onStart). Used for suspicion retraction.
   void addRecoveryListener(ProcessId owner,
-                           std::function<void(ProcessId)> fn) {
+                           std::function<void(ProcessId)> fn) override {
     recoveryListeners_.push_back(
         {owner, incarnation(owner), std::move(fn)});
   }
-  [[nodiscard]] bool crashed(ProcessId pid) const {
+  [[nodiscard]] bool crashed(ProcessId pid) const override {
     return crashed_[static_cast<size_t>(pid)] != 0;
   }
-  // True if the process crashed at least once, even if it has recovered
-  // since: the paper's "correct process" means NEVER crashed.
-  [[nodiscard]] bool everCrashed(ProcessId pid) const {
+  [[nodiscard]] bool everCrashed(ProcessId pid) const override {
     return everCrashed_[static_cast<size_t>(pid)] != 0;
   }
-  [[nodiscard]] int aliveInGroup(GroupId g) const;
+  [[nodiscard]] int aliveInGroup(GroupId g) const override;
 
   // ---- recovery ------------------------------------------------------------
   //
@@ -257,7 +185,7 @@ class Runtime {
   // not crashed at fire time is a no-op.
   void scheduleRecover(ProcessId pid, SimTime when);
 
-  [[nodiscard]] uint32_t incarnation(ProcessId pid) const {
+  [[nodiscard]] uint32_t incarnation(ProcessId pid) const override {
     return incarnation_[static_cast<size_t>(pid)];
   }
 
@@ -297,14 +225,12 @@ class Runtime {
 
   // ---- instrumentation -----------------------------------------------------
 
-  [[nodiscard]] uint64_t lamport(ProcessId pid) const {
+  [[nodiscard]] uint64_t lamport(ProcessId pid) const override {
     return lamport_[static_cast<size_t>(pid)];
   }
 
-  // Record an A-XCast event (local event: stamped with the current clock).
-  void recordCast(ProcessId pid, const AppMsgPtr& m);
-  // Record an A-Deliver event.
-  void recordDelivery(ProcessId pid, MsgId msg);
+  void recordCast(ProcessId pid, const AppMsgPtr& m) override;
+  void recordDelivery(ProcessId pid, MsgId msg) override;
 
   // ---- observer plane ------------------------------------------------------
   //
@@ -324,47 +250,63 @@ class Runtime {
     if (interests & kObserveSends) sendObservers_.push_back(obs);
   }
 
-  // Legacy delivery hook (PR 3), now a shim over the typed registry: the
-  // callback is wrapped in a runtime-owned adapter observer. Notification
-  // order relative to typed observers is registration order, as before.
-  using DeliveryObserver = std::function<void(ProcessId, MsgId)>;
-  void addDeliveryObserver(DeliveryObserver f);
-
-  [[nodiscard]] const RunTrace& trace() const { return trace_; }
+  [[nodiscard]] const RunTrace& trace() const override { return trace_; }
   [[nodiscard]] RunTrace& trace() { return trace_; }
-  [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
+  [[nodiscard]] const TrafficStats& traffic() const override {
+    return traffic_;
+  }
 
   void setRecordWire(bool on) { recordWire_ = on; }
 
-  // Time of the last non-FD packet handed to the network. The quiescence
-  // verifier compares this against the last cast (paper §5.2 / Prop. A.9).
-  [[nodiscard]] SimTime lastAlgorithmicSend() const { return lastAlgoSend_; }
+  [[nodiscard]] SimTime lastAlgorithmicSend() const override {
+    return lastAlgoSend_;
+  }
 
-  // Per-process "took part in the protocol" flags for the genuineness
-  // checker (layer kFailureDetector excluded, see DESIGN.md §2).
-  [[nodiscard]] bool everSentAlgorithmic(ProcessId pid) const {
+  [[nodiscard]] bool everSentAlgorithmic(ProcessId pid) const override {
     return sentAlgo_[static_cast<size_t>(pid)] != 0;
   }
-  [[nodiscard]] bool everReceivedAlgorithmic(ProcessId pid) const {
+  [[nodiscard]] bool everReceivedAlgorithmic(ProcessId pid) const override {
     return recvAlgo_[static_cast<size_t>(pid)] != 0;
+  }
+
+  // ---- harness surface (exec::Context) ------------------------------------
+
+  // Unguarded absolute-time harness event: lands in the same deterministic
+  // (time, insertion-sequence) order as every other scheduler event.
+  EventId harnessAt(SimTime when, exec::SmallFn fn) override {
+    return sched_.at(when > sched_.now() ? when : sched_.now(),
+                     std::move(fn));
+  }
+  void harnessCancel(EventId id) override { sched_.cancel(id); }
+
+  // The sim backend is single-threaded: "run on pid's context" is an
+  // immediate synchronous call, preserving the exact legacy event order.
+  void post(ProcessId, exec::SmallFn fn) override { fn(); }
+
+ protected:
+  EventId scheduleTimer(ProcessId pid, SimTime delay,
+                        exec::SmallFn fn) override {
+    return sched_.at(sched_.now() + delay,
+                     TimerGuard{this, pid, incarnation(pid), std::move(fn)});
   }
 
  private:
   // Suppresses a timer whose process crashed — or crashed AND recovered —
   // before it fired: a recovered process is a new incarnation, and the old
   // incarnation's timers must not fire into the fresh node (their captures
-  // point into the destroyed one). A plain struct (not a lambda) so its
-  // size is known and it stays inline in the scheduler's event pool.
-  template <class F>
+  // point into the destroyed one). Sized to stay inline in the scheduler's
+  // event pool (see exec::SmallFn::kInlineSize).
   struct TimerGuard {
     Runtime* rt;
     ProcessId pid;
     uint32_t inc;
-    F fn;
+    exec::SmallFn fn;
     void operator()() {
       if (!rt->crashed(pid) && rt->incarnation(pid) == inc) fn();
     }
   };
+  static_assert(sizeof(TimerGuard) <= EventCallable::kInlineSize,
+                "protocol timers must stay inline in the event pool");
 
   // One multicast fan-out: the payload, stamp, and layer are stored ONCE in
   // a pooled record; each copy on the wire is only a POD (when, seq, slot)
@@ -492,7 +434,6 @@ class Runtime {
   std::vector<RunObserver*> castObservers_;
   std::vector<RunObserver*> deliveryObservers_;
   std::vector<RunObserver*> sendObservers_;
-  std::vector<std::unique_ptr<RunObserver>> ownedObservers_;
   RunTrace trace_;
   TrafficStats traffic_;
   bool recordWire_ = false;
@@ -525,52 +466,6 @@ class Runtime {
     if (d.span == 0) return d.min;
     return d.min + static_cast<SimTime>(d.mod(rng_.next()));
   }
-};
-
-// Base class of a simulated process. A Node hosts the whole per-process
-// protocol stack (failure detector, consensus, reliable multicast, and the
-// atomic multicast/broadcast algorithm); subclasses dispatch payloads to the
-// right component in onMessage.
-class Node {
- public:
-  Node(Runtime& rt, ProcessId pid)
-      : rt_(rt), pid_(pid), gid_(rt.topology().group(pid)) {}
-  virtual ~Node() = default;
-
-  Node(const Node&) = delete;
-  Node& operator=(const Node&) = delete;
-
-  [[nodiscard]] ProcessId pid() const { return pid_; }
-  [[nodiscard]] GroupId gid() const { return gid_; }
-  [[nodiscard]] Runtime& runtime() { return rt_; }
-  [[nodiscard]] const Topology& topology() const { return rt_.topology(); }
-  [[nodiscard]] SimTime now() const { return rt_.now(); }
-
-  // Called once when the simulation starts.
-  virtual void onStart() {}
-  // Called for every delivered packet.
-  virtual void onMessage(ProcessId from, const PayloadPtr& payload) = 0;
-  // Called when this process crashes (for bookkeeping only — a crashed
-  // process takes no further steps).
-  virtual void onCrash() {}
-
- protected:
-  void send(ProcessId to, PayloadPtr payload) {
-    rt_.send(pid_, to, std::move(payload));
-  }
-  // One send event, many copies (see Runtime::multicast).
-  void sendToMany(const std::vector<ProcessId>& tos, const PayloadPtr& p) {
-    rt_.multicast(pid_, tos, p);
-  }
-  template <class F>
-  EventId timer(SimTime delay, F&& fn) {
-    return rt_.timer(pid_, delay, std::forward<F>(fn));
-  }
-
- private:
-  Runtime& rt_;
-  ProcessId pid_;
-  GroupId gid_;
 };
 
 }  // namespace wanmc::sim

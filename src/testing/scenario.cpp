@@ -405,14 +405,18 @@ ScenarioResult ScenarioRunner::run() const {
     cfg.stack.consensusRoundTimeout = 500 * kMs;
 
   core::Experiment ex(cfg);
-  const Topology& topo = ex.runtime().topology();
+  const Topology& topo = ex.context().topology();
+  const bool onSim = cfg.backend == exec::Backend::kSim;
 
   // Prefix order is checked incrementally from the observer plane while
   // the run progresses (verify/streaming.hpp); passive, so fingerprints
-  // are unaffected.
+  // are unaffected. The observer registry is a sim facility: a threaded
+  // run is checked from its merged trace instead (checkExpectations falls
+  // back to the trace-based oracle when no streaming verdict is passed).
   verify::StreamingOrderChecker orderChecker(topo);
-  ex.runtime().addObserver(&orderChecker,
-                           sim::kObserveCasts | sim::kObserveDeliveries);
+  if (onSim)
+    ex.runtime().addObserver(&orderChecker,
+                             sim::kObserveCasts | sim::kObserveDeliveries);
 
   ScenarioResult result;
   result.name = s.name;
@@ -490,7 +494,8 @@ ScenarioResult ScenarioRunner::run() const {
   }
 
   result.run = ex.run(s.runUntil);
-  result.violations = checkExpectations(result.run, s.expect, &orderChecker);
+  result.violations = checkExpectations(result.run, s.expect,
+                                        onSim ? &orderChecker : nullptr);
   result.fingerprint = traceFingerprint(result.run);
   return result;
 }
@@ -524,7 +529,12 @@ std::vector<ScenarioResult> ScenarioRunner::sweepSeeds(uint64_t firstSeed,
     out[static_cast<size_t>(i)] = ScenarioRunner(std::move(s)).run();
   };
 
-  const int n = resolveJobs(jobs, count);
+  // A threaded-backend seed already runs one OS thread per process; fanning
+  // seeds out on top would oversubscribe the machine AND distort the very
+  // wall-clock latencies the backend exists to measure. Serial, always.
+  const int n = scenario_.config.backend == exec::Backend::kSim
+                    ? resolveJobs(jobs, count)
+                    : 1;
   if (n <= 1) {
     for (int i = 0; i < count; ++i) runSeed(i);
     return out;

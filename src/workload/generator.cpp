@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "core/experiment.hpp"
-#include "sim/runtime.hpp"
+#include "exec/context.hpp"
 
 namespace wanmc::workload {
 
@@ -50,8 +50,8 @@ Generator::Generator(core::Experiment& ex, Spec spec)
     : ex_(ex),
       spec_(std::move(spec)),
       rng_(spec_.seed),
-      senderDraw_(ex.runtime().topology().numProcesses(), spec_.senderZipf),
-      destDraw_(ex.runtime().topology().numGroups(), spec_.destZipf) {}
+      senderDraw_(ex.context().topology().numProcesses(), spec_.senderZipf),
+      destDraw_(ex.context().topology().numGroups(), spec_.destZipf) {}
 
 void Generator::install() {
   if (spec_.model == Model::kTraceReplay) {
@@ -61,7 +61,7 @@ void Generator::install() {
     spec_.count = static_cast<int>(spec_.trace.size());
     if (spec_.trace.empty()) return;
     scheduleArrivalAt(
-        std::max(spec_.trace.front().when, ex_.runtime().now()));
+        std::max(spec_.trace.front().when, ex_.context().now()));
     return;
   }
   if (spec_.count <= 0) return;
@@ -72,24 +72,19 @@ void Generator::install() {
     spec_.burstGap = std::max<SimTime>(spec_.burstGap, 1);
   }
   burstStart_ = spec_.start;
-  scheduleArrivalAt(std::max(spec_.start, ex_.runtime().now()));
+  scheduleArrivalAt(std::max(spec_.start, ex_.context().now()));
 }
 
 void Generator::scheduleArrivalAt(SimTime when) {
-  // Scheduled directly (not via Runtime::timer): the workload is an
-  // external traffic source, so the arrival chain must survive the crash
-  // of any individual sender. Per-cast crash semantics live in
-  // Experiment::issueWorkloadCast, which allocates the message id but
-  // suppresses the xcast of a crashed sender — exactly what the legacy
-  // per-cast timer guard did.
-  //
-  // Clamped to the present: a workload installed mid-run (or a phase
-  // computed from a past anchor) must never enqueue an event behind the
-  // clock — the scheduler would fire it with a rewound timestamp.
-  // wanmc-lint: allow(D4): external traffic source, not incarnation
-  // state; per-cast crash suppression lives in issueWorkloadCast
-  ex_.runtime().scheduler().at(std::max(when, ex_.runtime().now()),
-                               Fire{this});
+  // A harness event (Context::harnessAt), not an incarnation-bound
+  // Context::timer: the workload is an external traffic source, so the
+  // arrival chain must survive the crash of any individual sender.
+  // Per-cast crash semantics live in Experiment::issueWorkloadCast, which
+  // allocates the message id but suppresses the xcast of a crashed sender
+  // — exactly what the legacy per-cast timer guard did. harnessAt clamps
+  // to the present, so a workload installed mid-run (or a phase computed
+  // from a past anchor) can never enqueue an event behind the clock.
+  ex_.context().harnessAt(when, Fire{this});
 }
 
 void Generator::onArrivalEvent() {
@@ -101,17 +96,17 @@ void Generator::onArrivalEvent() {
       }
       issueOne();
       if (!done())
-        scheduleArrivalAt(ex_.runtime().now() + spec_.interval);
+        scheduleArrivalAt(ex_.context().now() + spec_.interval);
       return;
     case Model::kOpenLoopFixed:
     case Model::kOpenLoopPoisson:
       issueOne();
-      if (!done()) scheduleArrivalAt(ex_.runtime().now() + openLoopGap());
+      if (!done()) scheduleArrivalAt(ex_.context().now() + openLoopGap());
       return;
     case Model::kBursty: {
       issueOne();
       if (done()) return;
-      SimTime next = ex_.runtime().now() + spec_.burstGap;
+      SimTime next = ex_.context().now() + spec_.burstGap;
       while (next - burstStart_ >= spec_.onDuration) {  // phase exhausted
         burstStart_ += spec_.onDuration + spec_.offDuration;
         next = std::max(next, burstStart_);
@@ -124,7 +119,7 @@ void Generator::onArrivalEvent() {
       ++traceNext_;
       if (traceNext_ < spec_.trace.size())
         scheduleArrivalAt(std::max(spec_.trace[traceNext_].when,
-                                   ex_.runtime().now()));
+                                   ex_.context().now()));
       return;
   }
 }
@@ -140,7 +135,7 @@ SimTime Generator::openLoopGap() {
 }
 
 void Generator::issueOne() {
-  const Topology& topo = ex_.runtime().topology();
+  const Topology& topo = ex_.context().topology();
   const bool broadcast = core::isBroadcastProtocol(ex_.config().protocol);
 
   ProcessId sender;
@@ -167,7 +162,7 @@ void Generator::issueOne() {
   // A crashed sender consumes its message id but casts nothing; such a
   // cast must NOT count toward the in-flight cap — it will never be
   // delivered, and tracking it would wedge the closed loop for good.
-  const bool willCast = !ex_.runtime().crashed(sender);
+  const bool willCast = !ex_.context().crashed(sender);
   std::string body = "w";  // built by append: avoids a GCC 12 -Wrestrict
   body += std::to_string(issued_.size());  // false positive on operator+
   const MsgId id = ex_.issueWorkloadCast(sender, dest, std::move(body));
@@ -185,7 +180,7 @@ void Generator::onDelivered(MsgId msg) {
     waiting_ = false;
     // Resume as a fresh event at the current instant: issuing from inside
     // the delivery callback would reenter the node mid-message.
-    scheduleArrivalAt(ex_.runtime().now());
+    scheduleArrivalAt(ex_.context().now());
   }
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "sim/runtime.hpp"
 #include "consensus/consensus.hpp"
 #include "core/stack_node.hpp"
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/runtime.hpp"
 #include "core/experiment.hpp"
 #include "testing/scenario.hpp"
 #include "verify/properties.hpp"

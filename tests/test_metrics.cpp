@@ -10,6 +10,7 @@
 #include "core/experiment.hpp"
 #include "core/export.hpp"
 #include "metrics/recorder.hpp"
+#include "sim/runtime.hpp"
 #include "metrics/summary.hpp"
 #include "metrics/sweep.hpp"
 #include "testing/scenario.hpp"

@@ -7,13 +7,13 @@
 // expect: D4
 namespace fixture {
 
-struct Scheduler {
+struct SchedStub {
   template <class F>
   void at(long when, F&& fn);
 };
 
 struct Runtime {
-  Scheduler& scheduler();
+  SchedStub& scheduler();
   long now();
 };
 

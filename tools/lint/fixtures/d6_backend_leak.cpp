@@ -1,0 +1,22 @@
+// scope: src/amcast/fixture_node.cpp
+// A protocol node that names the concrete sim backend instead of the
+// exec::Context interface: pins the stack to one backend.
+#include "sim/runtime.hpp"  // expect: D6
+
+namespace wanmc {
+
+class FixtureNode {
+ public:
+  explicit FixtureNode(sim::Runtime& rt) : rt_(rt) {}  // expect: D6
+
+  void poke() {
+    // Reaching for the raw Scheduler bypasses the Context timer surface.
+    Scheduler& s = rt_.scheduler();  // expect: D6
+    (void)s;
+  }
+
+ private:
+  sim::Runtime& rt_;  // expect: D6
+};
+
+}  // namespace wanmc

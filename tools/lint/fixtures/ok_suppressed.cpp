@@ -11,12 +11,12 @@
 
 namespace fixture {
 
-struct Scheduler {
+struct SchedStub {
   template <class F>
   void at(long when, F&& fn);
 };
 struct Runtime {
-  Scheduler& scheduler();
+  SchedStub& scheduler();
   long now();
   bool crashed(int pid);
 };

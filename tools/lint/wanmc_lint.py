@@ -37,6 +37,17 @@ Rules
                          WANMC_HOT (scheduler fire path, multicast fan-out,
                          channel DATA path). Cross-checked dynamically by
                          the bench harness's operator-new hook.
+  D6  backend-agnostic   Backend-agnostic code (protocol stacks, the
+                         channel/batch/bootstrap planes, common/) must not
+                         name sim::Runtime or the sim Scheduler -- only the
+                         exec::Context interface. Naming a concrete backend
+                         silently pins the code to it and breaks the
+                         "stacks run unmodified on either backend"
+                         guarantee. The backends themselves (src/sim/,
+                         src/exec/), the backend mux (core/experiment),
+                         the sim-only observer plane (src/metrics/,
+                         src/verify/) and the harness (src/testing/,
+                         tests/, examples/, bench/) are out of scope.
 
 Suppression
 -----------
@@ -82,13 +93,15 @@ RULES = {
            "raw Scheduler::at outside the runtime without a guard note"),
     "D5": ("hot-no-alloc",
            "heap allocation inside a WANMC_HOT region"),
+    "D6": ("backend-agnostic",
+           "concrete backend named outside backend/harness code"),
 }
 
 ALLOW_RE = re.compile(
-    r"//\s*wanmc-lint:\s*allow\(\s*(D[1-5])\s*\)\s*(:?\s*(.*))?$")
+    r"//\s*wanmc-lint:\s*allow\(\s*(D[1-6])\s*\)\s*(:?\s*(.*))?$")
 
 # `// expect: D1 D5` directives inside fixture files drive --self-test.
-EXPECT_RE = re.compile(r"//\s*expect:\s*((?:D[1-5]\s*)+)$", re.MULTILINE)
+EXPECT_RE = re.compile(r"//\s*expect:\s*((?:D[1-6]\s*)+)$", re.MULTILINE)
 
 
 @dataclass
@@ -232,7 +245,12 @@ def in_dir(path: str, prefix: str) -> bool:
 
 def d1_in_scope(path: str) -> bool:
     # bench/ measures wall-clock by design; tools/ is the linter itself.
-    return not in_dir(path, "bench") and not in_dir(path, "tools")
+    # src/exec/threaded/ IS the real-clock backend: steady_clock reads are
+    # its whole point, so the determinism contract is relaxed there (and
+    # ONLY there -- the sim backend and everything layered on exec::Context
+    # stay deterministic).
+    return (not in_dir(path, "bench") and not in_dir(path, "tools")
+            and not in_dir(path, "src/exec/threaded"))
 
 
 def fingerprint_scope(path: str) -> bool:
@@ -253,6 +271,24 @@ def d4_in_scope(path: str) -> bool:
     # The runtime/scheduler implement the guard substrate; everything else
     # in src/ must route timers through it or document its own guard.
     return in_dir(path, "src") and not in_dir(path, "src/sim")
+
+
+def d6_in_scope(path: str) -> bool:
+    """D6 scope: code that must stay backend-agnostic. The two backends
+    (src/sim/, src/exec/), the backend mux (core/experiment.*), the
+    sim-only observer/metrics plane (src/metrics/, src/verify/) and the
+    test harness (src/testing/) are the ONLY src/ code allowed to name a
+    concrete backend; tests/examples/bench are harness territory too."""
+    if not in_dir(path, "src"):
+        return False
+    for d in ("src/sim", "src/exec", "src/metrics", "src/verify",
+              "src/testing"):
+        if in_dir(path, d):
+            return False
+    if os.path.basename(path).startswith("experiment.") and \
+            "core" in path.split("/"):
+        return False
+    return True
 
 
 # --------------------------------------------------------------------------
@@ -466,6 +502,32 @@ def check_d5(sf: SourceFile) -> list[Finding]:
     return findings
 
 
+D6_NAME_RE = re.compile(r"\bsim\s*::\s*(Runtime|Scheduler)\b|"
+                        r"(?<!::)\bScheduler\b")
+# Includes are scanned on the RAW lines: the lexer blanks string literals,
+# and an #include path is one.
+D6_INCLUDE_RE = re.compile(
+    r'#\s*include\s*"sim/(runtime|scheduler)\.hpp"')
+
+
+def check_d6(sf: SourceFile) -> list[Finding]:
+    if not d6_in_scope(sf.path):
+        return []
+    findings = []
+    for lineno, (code_line, raw_line) in enumerate(
+            zip(sf.code_lines, sf.raw_lines), start=1):
+        m = D6_NAME_RE.search(code_line) or D6_INCLUDE_RE.search(raw_line)
+        if m:
+            findings.append(Finding(
+                sf.path, lineno, "D6",
+                "backend-agnostic code names a concrete execution backend "
+                "(sim::Runtime / Scheduler): program against exec::Context "
+                "so the stack runs unmodified on both the sim and the "
+                "threaded backend; if this file is genuinely backend-"
+                "bound, say why via wanmc-lint: allow(D6)"))
+    return findings
+
+
 # --------------------------------------------------------------------------
 # Driver.
 # --------------------------------------------------------------------------
@@ -521,6 +583,7 @@ def lint_file(path: str, display: str,
     findings += check_d3(sf)
     findings += check_d4(sf)
     findings += check_d5(sf)
+    findings += check_d6(sf)
     findings = apply_suppressions(sf, findings)
     findings.sort(key=lambda f: (f.line, f.rule))
     return findings
@@ -601,6 +664,7 @@ def run_self_test(root: str) -> int:
         findings += check_d3(sf)
         findings += check_d4(sf)
         findings += check_d5(sf)
+        findings += check_d6(sf)
         findings = apply_suppressions(sf, findings)
         got = {f.rule for f in findings}
         if got != expected:
